@@ -1,0 +1,129 @@
+"""Shared experiment driver for the benchmark suite.
+
+Every Fig. 9/10-style experiment has the same skeleton: build a cluster,
+optionally add background task load, feed an LRA population to a scheduler
+in fixed-size batches (the paper's scheduling-interval batching), apply the
+resulting placements, and measure violations / fragmentation / load balance
+on the final state.  :func:`run_placement_experiment` is that skeleton.
+
+Scale note: the paper simulates 500 machines; the benchmarks default to a
+100–200 machine cluster so the full suite stays in CI-friendly time.  The
+shapes being reproduced (orderings, trends) are scale-invariant here; bump
+``BENCH_SCALE`` via the environment to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    IlpScheduler,
+    JKubeScheduler,
+    LRAScheduler,
+    NodeCandidatesScheduler,
+    SerialScheduler,
+    TagPopularityScheduler,
+    build_cluster,
+)
+from repro.core.requests import LRARequest
+from repro.metrics import evaluate_violations
+from repro.workloads import fill_cluster
+
+#: Global scale multiplier for benchmark cluster sizes (1.0 = default).
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(4, int(n * BENCH_SCALE))
+
+
+def make_schedulers(max_candidate_nodes: int = 60) -> dict[str, LRAScheduler]:
+    """The five algorithms compared throughout §7.4 (Fig. 9/10 legends).
+
+    The ILP runs with candidate pruning, a 2% optimality gap and a short
+    time limit: sweep benchmarks need hundreds of cycles, and proving exact
+    optimality on each adds nothing to placement quality.
+    """
+    return {
+        "MEDEA-ILP": IlpScheduler(
+            max_candidate_nodes=max_candidate_nodes,
+            time_limit_s=5.0,
+            mip_rel_gap=0.02,
+        ),
+        "MEDEA-NC": NodeCandidatesScheduler(),
+        "MEDEA-TP": TagPopularityScheduler(),
+        "J-KUBE": JKubeScheduler(),
+        "Serial": SerialScheduler(),
+    }
+
+
+@dataclass
+class ExperimentResult:
+    violation_fraction: float
+    fragmentation_fraction: float
+    utilization_cv: float
+    placed_apps: int
+    rejected_apps: int
+    mean_cycle_s: float
+    cycles: int = 0
+
+
+def run_placement_experiment(
+    scheduler: LRAScheduler,
+    population: Sequence[LRARequest],
+    *,
+    num_nodes: int = 100,
+    racks: int = 10,
+    memory_mb: int = 16 * 1024,
+    vcores: int = 8,
+    batch_size: int = 2,
+    task_memory_fraction: float = 0.0,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Feed ``population`` to ``scheduler`` in batches and audit the result."""
+    topology = build_cluster(num_nodes, racks=racks, memory_mb=memory_mb, vcores=vcores)
+    state = ClusterState(topology)
+    manager = ConstraintManager(topology)
+    if task_memory_fraction > 0:
+        from repro.workloads import GridMixConfig
+
+        fill_cluster(state, task_memory_fraction, config=GridMixConfig(seed=seed))
+
+    placed = rejected = 0
+    cycle_times: list[float] = []
+    for start in range(0, len(population), batch_size):
+        batch = list(population[start:start + batch_size])
+        for request in batch:
+            manager.register_application(request)
+        begin = time.perf_counter()
+        result = scheduler.place(batch, state, manager)
+        cycle_times.append(time.perf_counter() - begin)
+        for placement in result.placements:
+            state.allocate(
+                placement.container_id,
+                placement.node_id,
+                placement.resource,
+                placement.tags,
+                placement.app_id,
+            )
+        placed += len(result.placed_apps())
+        rejected += len(result.rejected_apps)
+        for app_id in result.rejected_apps:
+            manager.unregister_application(app_id)
+
+    report = evaluate_violations(state, manager=manager)
+    return ExperimentResult(
+        violation_fraction=report.violation_fraction,
+        fragmentation_fraction=state.fragmented_node_fraction(),
+        utilization_cv=state.memory_utilization_cv(),
+        placed_apps=placed,
+        rejected_apps=rejected,
+        mean_cycle_s=sum(cycle_times) / max(1, len(cycle_times)),
+        cycles=len(cycle_times),
+    )

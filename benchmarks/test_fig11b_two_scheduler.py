@@ -1,0 +1,112 @@
+"""Figure 11b — the two-scheduler design benefit (§7.5).
+
+A cluster receives an interleaved stream of LRAs and short tasks; the
+fraction of resources devoted to LRAs ("percentage of services") is swept.
+MEDEA routes only LRAs through the ILP scheduler (tasks go to the capacity
+scheduler instantly); ILP-ALL pushes every task through the solver as a
+single-container LRA.  With a 10-second scheduling interval and the paper's
+two-requests-per-cycle periodicity, an LRA in the single-scheduler design
+queues behind every task submitted before it — we report the resulting
+mean LRA scheduling latency (simulated queueing + solve time).
+
+Shape target: ILP-ALL is many times more expensive at low service
+percentages (paper: 9.5x at 20%), converging toward MEDEA as the workload
+approaches all-services.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CapacityScheduler,
+    ClusterState,
+    IlpScheduler,
+    MedeaScheduler,
+    Resource,
+    TaskRequest,
+    build_cluster,
+)
+from repro.apps import hbase_instance
+from repro.reporting import banner, render_series
+
+NODES = 64
+SERVICE_PERCENTAGES = [20, 40, 60, 80, 100]
+INTERVAL_S = 10.0
+
+
+def build_workload(service_pct: int):
+    """An interleaved arrival order of LRAs and tasks matching the split."""
+    topology = build_cluster(NODES, racks=8, memory_mb=16 * 1024, vcores=8)
+    total_mb = topology.total_capacity().memory_mb
+    lra_budget = total_mb * service_pct / 100 * 0.5
+    probe = hbase_instance("probe", max_rs_per_node=4)
+    per_lra = probe.total_resource().memory_mb
+    lras = [
+        hbase_instance(f"svc-{service_pct}-{i}", max_rs_per_node=4)
+        for i in range(max(1, int(lra_budget / per_lra)))
+    ]
+    task_budget = total_mb * (100 - service_pct) / 100 * 0.5
+    tasks = [
+        TaskRequest(f"task-{service_pct}-{i}", "batch", Resource(2048, 1))
+        for i in range(int(task_budget / 2048))
+    ]
+    # Round-robin interleave so LRAs arrive spread through the task stream.
+    arrivals: list = []
+    stride = max(1, len(tasks) // max(1, len(lras)))
+    t = iter(tasks)
+    for lra in lras:
+        for _ in range(stride):
+            task = next(t, None)
+            if task is not None:
+                arrivals.append(task)
+        arrivals.append(lra)
+    arrivals.extend(t)
+    return topology, arrivals, len(lras)
+
+
+def mean_lra_latency_s(service_pct: int, *, ilp_all: bool) -> float:
+    topology, arrivals, n_lras = build_workload(service_pct)
+    state = ClusterState(topology)
+    medea = MedeaScheduler(
+        state,
+        IlpScheduler(max_candidate_nodes=48, time_limit_s=5.0, mip_rel_gap=0.05),
+        CapacityScheduler(state),
+        ilp_all=ilp_all,
+        max_attempts=1,
+        max_batch_size=2,  # the paper's two-requests-per-interval periodicity
+    )
+    for item in arrivals:
+        if isinstance(item, TaskRequest):
+            medea.submit_task(item, now=0.0)
+        else:
+            medea.submit_lra(item, now=0.0)
+    cycle = 1
+    while medea.pending_lras() and cycle < 2000:
+        medea.run_cycle(now=cycle * INTERVAL_S)
+        cycle += 1
+    medea.heartbeat_all(now=cycle * INTERVAL_S)
+    # Scheduling latency of the *real* LRAs (queueing + solve time).
+    total = 0.0
+    for outcome in medea.outcomes.values():
+        if outcome.app_id.startswith("svc-") and outcome.scheduling_latency_s:
+            total += outcome.scheduling_latency_s
+    return total / max(1, n_lras)
+
+
+def run_fig11b():
+    return {
+        "MEDEA": [mean_lra_latency_s(p, ilp_all=False) for p in SERVICE_PERCENTAGES],
+        "ILP ALL": [mean_lra_latency_s(p, ilp_all=True) for p in SERVICE_PERCENTAGES],
+    }
+
+
+def test_fig11b_two_scheduler(benchmark):
+    series = benchmark.pedantic(run_fig11b, rounds=1, iterations=1)
+    print(banner("Figure 11b: mean LRA scheduling latency (s) vs service share"))
+    print(render_series("% services", SERVICE_PERCENTAGES, series))
+    medea, ilp_all = series["MEDEA"], series["ILP ALL"]
+    # The single-scheduler design is much slower when tasks dominate
+    # (paper: 9.5x at 20% services).
+    assert ilp_all[0] / medea[0] > 3.0
+    # The gap narrows as the workload becomes all-services.
+    assert ilp_all[0] / medea[0] > ilp_all[-1] / medea[-1]
+    assert ilp_all[-1] / medea[-1] < 2.0

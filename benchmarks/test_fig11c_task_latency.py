@@ -1,0 +1,67 @@
+"""Figure 11c — task scheduling latency under Medea vs. plain YARN (§7.5).
+
+A synthetic Google-trace task stream (sped up 200x) is replayed through the
+full simulation.  "YARN" is the capacity scheduler alone; "MEDEA" is the
+same plus an extra ~10% of cluster load arriving as LRAs through the ILP
+scheduler.
+
+Shape target: Medea's task-scheduling latency distribution matches YARN's —
+the LRA scheduler does not sit on the task path.
+"""
+
+from __future__ import annotations
+
+from repro import IlpScheduler, SerialScheduler, build_cluster
+from repro.apps import hbase_instance
+from repro.metrics import BoxStats
+from repro.reporting import banner, render_table
+from repro.sim import ClusterSimulation, SimConfig
+from repro.workloads import GoogleTraceConfig, generate_trace
+
+NUM_TASKS = 600
+HORIZON_S = 240.0
+
+
+def run_once(with_lras: bool) -> list[float]:
+    topology = build_cluster(64, racks=4, memory_mb=16 * 1024, vcores=8)
+    sim = ClusterSimulation(
+        topology,
+        IlpScheduler(max_candidate_nodes=48, time_limit_s=5.0, mip_rel_gap=0.05),
+        config=SimConfig(scheduling_interval_s=10.0, heartbeat_interval_s=1.0,
+                         horizon_s=HORIZON_S),
+    )
+    for arrival, task in generate_trace(GoogleTraceConfig(seed=17), count=NUM_TASKS):
+        if arrival >= HORIZON_S:
+            break
+        sim.submit_task(task, at=arrival)
+    if with_lras:
+        # ~10% extra scheduling load from LRAs.
+        for i in range(4):
+            sim.submit_lra(
+                hbase_instance(f"hb-{i}", max_rs_per_node=4), at=5.0 + 20.0 * i
+            )
+    sim.run(HORIZON_S)
+    return sim.task_latencies()
+
+
+def run_fig11c():
+    return {"YARN": run_once(False), "MEDEA (short tasks)": run_once(True)}
+
+
+def test_fig11c_task_latency(benchmark):
+    series = benchmark.pedantic(run_fig11c, rounds=1, iterations=1)
+    stats = {name: BoxStats.from_values(v) for name, v in series.items()}
+    print(banner("Figure 11c: task scheduling latency (s), Google trace 200x"))
+    print(render_table(
+        ["system", "count", "p25", "median", "p75", "p99"],
+        [[name, s.count, s.p25, s.median, s.p75, s.p99] for name, s in stats.items()],
+    ))
+    yarn = stats["YARN"]
+    medea = stats["MEDEA (short tasks)"]
+    # Both schedule the vast majority of the stream.
+    assert yarn.count > NUM_TASKS * 0.8
+    assert medea.count > NUM_TASKS * 0.8
+    # Medea's LRA load does not hurt the task path: medians within one
+    # heartbeat of each other.
+    assert abs(medea.median - yarn.median) <= 1.0
+    assert medea.p99 <= yarn.p99 + 3.0

@@ -1,0 +1,62 @@
+"""Figure 2a — Memcached lookup latency under affinity constraints (§2.2).
+
+Storm (5 supervisors) + Memcached on a 275-node cluster, three placements:
+
+* YARN (no constraints)         — constraint-unaware placement;
+* MEDEA intra-only              — supervisors collocated, Memcached anywhere;
+* MEDEA intra-inter             — supervisors and Memcached on one node.
+
+Shape targets: mean lookup latency intra-inter << intra-only <= YARN, with
+the intra-inter improvement around the paper's 4.6x.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    IlpScheduler,
+    build_cluster,
+)
+from repro.apps import memcached_instance, storm_instance
+from repro.perf import LatencyModel, lookup_distance_classes, sample_lookup_latencies
+from repro.reporting import banner, render_cdf_summary, render_table
+
+
+def deploy(placement_policy: str, scheduler) -> list[float]:
+    topology = build_cluster(275, racks=11, memory_mb=16 * 1024, vcores=8)
+    state = ClusterState(topology)
+    manager = ConstraintManager(topology)
+    storm = storm_instance("storm", placement=placement_policy)
+    memcached = memcached_instance("mc")
+    for request in (memcached, storm):
+        manager.register_application(request)
+    result = scheduler.place([memcached, storm], state, manager)
+    for p in result.placements:
+        state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+    classes = lookup_distance_classes(state, "storm", "mc")
+    return sample_lookup_latencies(classes, LatencyModel(samples_per_pair=500))
+
+
+def run_fig2a() -> dict[str, list[float]]:
+    return {
+        "YARN": deploy("none", ConstraintUnawareScheduler(seed=2)),
+        "MEDEA (intra-only)": deploy("intra", IlpScheduler(max_candidate_nodes=60)),
+        "MEDEA": deploy("intra-inter", IlpScheduler(max_candidate_nodes=60)),
+    }
+
+
+def test_fig2a_affinity(benchmark):
+    series = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+    means = {name: sum(v) / len(v) for name, v in series.items()}
+    print(banner("Figure 2a: Memcached lookup latency (ms) with node affinity"))
+    for name, values in series.items():
+        print(render_cdf_summary(name, values, unit="ms"))
+    print(render_table(["placement", "mean lookup (ms)"],
+                       [[k, v] for k, v in means.items()]))
+    # intra-inter is the big win; intra-only does not help lookups much.
+    assert means["MEDEA"] < means["MEDEA (intra-only)"]
+    assert means["MEDEA"] < means["YARN"]
+    ratio = means["MEDEA (intra-only)"] / means["MEDEA"]
+    assert 2.5 < ratio < 9.0, f"expected ~4.6x intra-inter win, got {ratio:.1f}x"

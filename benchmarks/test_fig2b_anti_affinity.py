@@ -1,0 +1,116 @@
+"""Figure 2b — HBase YCSB throughput with node anti-affinity (§2.2).
+
+HBase instances under batch pressure (GridMix at 60% memory), four
+configurations: YARN (no constraints) and MEDEA (anti-affinity between
+region servers), each with and without cgroups isolation.
+
+Shape targets: no-constraints ~34% below anti-affinity; cgroups recover
+part of the gap (~20% improvement) but do not close it; p99 latency
+inflation up to ~3.9x for no-constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    IlpScheduler,
+    build_cluster,
+)
+from repro.apps import hbase_instance
+from repro.perf import SERVING_PARAMS, extract_features, serving_throughput, tail_latency_factor
+from repro.reporting import banner, render_table
+from repro.workloads import YCSB_WORKLOADS, fill_cluster
+
+NUM_INSTANCES = 6
+REGION_SERVERS = 10
+
+
+def deploy(constrained: bool):
+    topology = build_cluster(100, racks=10, memory_mb=16 * 1024, vcores=8)
+    state = ClusterState(topology)
+    manager = ConstraintManager(topology)
+    fill_cluster(state, 0.60)
+    requests = [
+        hbase_instance(
+            f"hb-{i}",
+            region_servers=REGION_SERVERS,
+            max_rs_per_node=1 if constrained else 1,
+            with_aux=False,
+            constraints_enabled=constrained,
+        )
+        for i in range(NUM_INSTANCES)
+    ]
+    scheduler = (
+        IlpScheduler(max_candidate_nodes=100, time_limit_s=5.0, mip_rel_gap=0.02)
+        if constrained
+        else ConstraintUnawareScheduler(seed=3)
+    )
+    for start in range(0, len(requests), 2):
+        batch = requests[start:start + 2]
+        for request in batch:
+            manager.register_application(request)
+        result = scheduler.place(batch, state, manager)
+        for p in result.placements:
+            state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+    return state
+
+
+def throughputs(state, *, cgroups: bool) -> dict[str, float]:
+    """Aggregate Kops/s per YCSB workload across the deployed instances."""
+    out: dict[str, float] = {}
+    for name, wl in YCSB_WORKLOADS.items():
+        params = replace(
+            SERVING_PARAMS,
+            collocation_linear=SERVING_PARAMS.collocation_linear
+            * wl.interference_sensitivity,
+        )
+        total = 0.0
+        for i in range(NUM_INSTANCES):
+            feats = extract_features(state, f"hb-{i}", "hb_rs")
+            total += serving_throughput(wl.base_kops, feats, params, cgroups=cgroups)
+        out[name] = total / NUM_INSTANCES
+    return out
+
+
+def run_fig2b():
+    yarn_state = deploy(constrained=False)
+    medea_state = deploy(constrained=True)
+    results = {
+        "YARN": throughputs(yarn_state, cgroups=False),
+        "YARN-Cgroups": throughputs(yarn_state, cgroups=True),
+        "MEDEA": throughputs(medea_state, cgroups=False),
+        "MEDEA-Cgroups": throughputs(medea_state, cgroups=True),
+    }
+    tails = {
+        "YARN": sum(
+            tail_latency_factor(extract_features(yarn_state, f"hb-{i}", "hb_rs"))
+            for i in range(NUM_INSTANCES)
+        ) / NUM_INSTANCES,
+        "MEDEA": sum(
+            tail_latency_factor(extract_features(medea_state, f"hb-{i}", "hb_rs"))
+            for i in range(NUM_INSTANCES)
+        ) / NUM_INSTANCES,
+    }
+    return results, tails
+
+
+def test_fig2b_anti_affinity(benchmark):
+    results, tails = benchmark.pedantic(run_fig2b, rounds=1, iterations=1)
+    workloads = sorted(YCSB_WORKLOADS)
+    print(banner("Figure 2b: HBase YCSB throughput (Kops/s) with anti-affinity"))
+    print(render_table(
+        ["system"] + workloads,
+        [[name] + [series[w] for w in workloads] for name, series in results.items()],
+    ))
+    print(f"p99 latency inflation: YARN {tails['YARN']:.1f}x vs MEDEA {tails['MEDEA']:.1f}x")
+
+    for w in workloads:
+        assert results["MEDEA"][w] > results["YARN"][w]
+        assert results["YARN"][w] < results["YARN-Cgroups"][w] < results["MEDEA"][w]
+    mean_ratio = sum(results["YARN"][w] / results["MEDEA"][w] for w in workloads) / 6
+    assert 0.5 < mean_ratio < 0.85, f"expected ~0.66 throughput ratio, got {mean_ratio:.2f}"
+    assert tails["YARN"] / tails["MEDEA"] > 1.3

@@ -1,0 +1,47 @@
+"""Figure 3 — unavailable machines in a large cluster over four days.
+
+Reproduces the telemetry figure from the synthetic service-unit trace
+generator and asserts its three qualitative invariants (§2.3): baseline
+unavailability below 3%, spikes to 25%+ within individual service units,
+and asynchronous failures across units (a unit spike barely moves the
+cluster-wide total).
+"""
+
+from __future__ import annotations
+
+from repro.failures import generate_trace
+from repro.metrics import percentile
+from repro.reporting import banner, render_table
+
+HOURS = 4 * 24
+SERVICE_UNITS = 25
+
+
+def run_fig3():
+    return generate_trace(SERVICE_UNITS, HOURS, seed=0)
+
+
+def test_fig3_unavailability(benchmark):
+    trace = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    total = trace.total_series()
+    print(banner("Figure 3: unavailable machines over 4 days (%)"))
+    rows = []
+    for su in range(4):
+        series = trace.series_for_unit(su)
+        rows.append([
+            f"SU {su + 1}", 100 * percentile(series, 50),
+            100 * percentile(series, 95), 100 * max(series),
+        ])
+    rows.append([
+        "total", 100 * percentile(total, 50),
+        100 * percentile(total, 95), 100 * max(total),
+    ])
+    print(render_table(["series", "median %", "p95 %", "max %"], rows))
+
+    all_values = [f for row in trace.fractions for f in row]
+    below_3pct = sum(1 for f in all_values if f <= 0.03) / len(all_values)
+    assert below_3pct > 0.8, "unavailability should usually be below 3%"
+    assert max(max(row) for row in trace.fractions) >= 0.25, "spikes expected"
+    # Asynchrony: the worst per-unit hour dwarfs the total at that hour.
+    worst_hour = max(range(HOURS), key=lambda h: max(trace.fractions[h]))
+    assert trace.total(worst_hour) < max(trace.fractions[worst_hour]) / 2

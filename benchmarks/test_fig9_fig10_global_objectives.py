@@ -1,0 +1,96 @@
+"""Figures 9a, 10a, 10b — global cluster objectives vs. LRA utilisation.
+
+One sweep drives all three panels (the paper draws them from the same
+simulation): HBase LRA populations sized to 10–90% of cluster memory are
+placed by the five algorithms, two LRAs per scheduling cycle, and the final
+state is audited for
+
+* Fig. 9a — % of constrained containers violating a constraint,
+* Fig. 10a — % of fragmented nodes (< 1 core / 2 GB free, not full),
+* Fig. 10b — coefficient of variation of node memory utilisation.
+
+Shape targets: Medea-ILP has the fewest violations at every utilisation;
+J-Kube (no cardinality support, one container at a time) the most; all
+algorithms fragment little except at high utilisation; load imbalance is
+highest at low utilisation and evens out as the cluster fills.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.reporting import banner, render_series
+from repro.workloads import population_for_utilization
+
+from benchmarks.harness import ExperimentResult, make_schedulers, run_placement_experiment, scaled
+
+UTILIZATIONS = [10, 30, 50, 70, 90]
+NUM_NODES = scaled(100)
+
+_cache: dict[str, dict[str, list[ExperimentResult]]] = {}
+
+
+def run_sweep() -> dict[str, list[ExperimentResult]]:
+    if "sweep" in _cache:
+        return _cache["sweep"]
+    topology = build_cluster(NUM_NODES, racks=10, memory_mb=16 * 1024, vcores=8)
+    results: dict[str, list[ExperimentResult]] = {}
+    for name, scheduler in make_schedulers().items():
+        series = []
+        for util in UTILIZATIONS:
+            population = population_for_utilization(
+                topology, util / 100, max_rs_per_node=4
+            )
+            series.append(
+                run_placement_experiment(
+                    scheduler, population, num_nodes=NUM_NODES
+                )
+            )
+        results[name] = series
+    _cache["sweep"] = results
+    return results
+
+
+def test_fig9a_constraint_violations(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = {
+        name: [100 * r.violation_fraction for r in rs]
+        for name, rs in results.items()
+    }
+    print(banner("Figure 9a: constraint violations (%) vs LRA utilisation"))
+    print(render_series("LRA util %", UTILIZATIONS, series))
+    for i, util in enumerate(UTILIZATIONS):
+        ilp = series["MEDEA-ILP"][i]
+        # The ILP is the best (or tied-best) algorithm everywhere...
+        assert ilp <= min(s[i] for s in series.values()) + 1.5
+        # ...and J-Kube, lacking cardinality support, is clearly worse.
+        assert series["J-KUBE"][i] > ilp + 5
+    # Paper headline: ILP keeps violations minimal even at 90% utilisation.
+    assert series["MEDEA-ILP"][-1] < 10
+
+
+def test_fig10a_fragmentation(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = {
+        name: [100 * r.fragmentation_fraction for r in rs]
+        for name, rs in results.items()
+    }
+    print(banner("Figure 10a: fragmented nodes (%) vs LRA utilisation"))
+    print(render_series("LRA util %", UTILIZATIONS, series))
+    for name, values in series.items():
+        # Little fragmentation except at high utilisation.
+        assert values[0] <= 10
+        assert values[-1] >= values[0]
+
+
+def test_fig10b_load_balance(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = {
+        name: [100 * r.utilization_cv for r in rs] for name, rs in results.items()
+    }
+    print(banner("Figure 10b: node memory utilisation CV (%) vs LRA utilisation"))
+    print(render_series("LRA util %", UTILIZATIONS, series))
+    for name, values in series.items():
+        # Imbalance is most pronounced at low utilisation and evens out.
+        assert values[-1] < values[0]

@@ -1,0 +1,52 @@
+"""Figure 9d — constraint violations vs. inter-application complexity (§7.4).
+
+Complexity X means affinity/cardinality inter-application constraints
+involving up to X LRAs (generated as rings of X applications, each
+constrained toward the next).  The batch size is held at 2, so higher
+complexity increasingly exceeds what one scheduling cycle can see.
+
+Shape targets: Medea-ILP stays under ~10% violations even at complexity 10;
+the greedy heuristics degrade moderately; J-Kube, considering one request
+at a time, is clearly worst on inter-application constraints.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import banner, render_series
+from repro.workloads import complexity_population
+
+from benchmarks.harness import make_schedulers, run_placement_experiment, scaled
+
+COMPLEXITIES = [1, 2, 4, 6, 8, 10]
+NUM_NODES = scaled(100)
+TOTAL_LRAS = 20
+
+
+def run_fig9d():
+    results = {}
+    for name, scheduler in make_schedulers().items():
+        series = []
+        for complexity in COMPLEXITIES:
+            groups = max(1, TOTAL_LRAS // complexity)
+            population = complexity_population(
+                groups, complexity, containers_per_lra=8, seed=7
+            )
+            result = run_placement_experiment(
+                scheduler, population, num_nodes=NUM_NODES,
+                batch_size=min(2, complexity),
+            )
+            series.append(100 * result.violation_fraction)
+        results[name] = series
+    return results
+
+
+def test_fig9d_violations_complexity(benchmark):
+    series = benchmark.pedantic(run_fig9d, rounds=1, iterations=1)
+    print(banner("Figure 9d: constraint violations (%) vs complexity"))
+    print(render_series("complexity", COMPLEXITIES, series))
+    ilp = series["MEDEA-ILP"]
+    # Paper: even with constraints spanning 10 LRAs the ILP stays < 10%.
+    assert max(ilp) < 12
+    # J-Kube struggles with inter-application constraints.
+    assert series["J-KUBE"][-1] > ilp[-1]
+    assert max(series["J-KUBE"]) > 10

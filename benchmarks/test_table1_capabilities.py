@@ -1,0 +1,32 @@
+"""Table 1 — scheduler support for requirements R1–R4.
+
+Prints the paper's capability matrix and checks the rows for systems this
+repository implements against their actual behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.core.capabilities import TABLE_1, Support, capabilities_of, render_table1
+from repro.reporting import banner
+
+
+def test_table1_capabilities(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    print(banner("Table 1: LRA requirement support (R1-R4)"))
+    print(text)
+    medea = capabilities_of("Medea")
+    assert medea.cardinality is Support.FULL
+    assert capabilities_of("Kubernetes").cardinality is Support.NONE
+    # Only Medea fully supports everything.
+    full_rows = [
+        caps.system
+        for caps in TABLE_1
+        if all(
+            getattr(caps, field) is Support.FULL
+            for field in (
+                "affinity", "anti_affinity", "cardinality", "intra",
+                "inter", "high_level", "global_objectives", "low_latency",
+            )
+        )
+    ]
+    assert full_rows == ["Medea"]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: place two constrained LRAs on a small cluster with Medea.
+
+Builds a 40-node cluster, defines an HBase-style application with
+intra- and inter-application constraints, schedules it with the ILP-based
+LRA scheduler, and prints the resulting placement and a violation audit.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ContainerRequest,
+    IlpScheduler,
+    LRARequest,
+    Resource,
+    affinity,
+    anti_affinity,
+    build_cluster,
+    cardinality,
+    evaluate_violations,
+)
+
+
+def main() -> None:
+    # 1. A cluster: 40 nodes, 4 racks, 16 GB / 8 cores each.
+    topology = build_cluster(40, racks=4, memory_mb=16 * 1024, vcores=8)
+    state = ClusterState(topology)
+    manager = ConstraintManager(topology)
+
+    # 2. An application: 6 workers + a master, with three §4.2 constraints:
+    #    - no more than 2 workers per node (cardinality; the count is of
+    #      *other* workers, so cmax=1),
+    #    - the master collocated with at least one worker (affinity),
+    #    - masters of different apps on different nodes (anti-affinity).
+    def make_app(app_id: str) -> LRARequest:
+        containers = [
+            ContainerRequest(f"{app_id}/w{i}", Resource(2048, 1), frozenset({"hb", "hb_rs"}))
+            for i in range(6)
+        ]
+        containers.append(
+            ContainerRequest(f"{app_id}/m", Resource(1024, 1), frozenset({"hb", "hb_m"}))
+        )
+        constraints = [
+            cardinality("hb_rs", "hb_rs", 0, 1, "node"),
+            affinity("hb_m", "hb_rs", "node"),
+            anti_affinity("hb_m", "hb_m", "node"),
+        ]
+        return LRARequest(app_id, containers, constraints)
+
+    apps = [make_app("hbase-1"), make_app("hbase-2")]
+
+    # 3. Register constraints and place the batch with the ILP scheduler.
+    for app in apps:
+        manager.register_application(app)
+    scheduler = IlpScheduler()
+    result = scheduler.timed_place(apps, state, manager)
+
+    print(f"Placed {len(result.placements)} containers "
+          f"in {result.solve_time_s * 1000:.0f} ms "
+          f"(objective {result.objective:.3f})")
+    for placement in sorted(result.placements, key=lambda p: p.container_id):
+        print(f"  {placement.container_id:14s} -> {placement.node_id} "
+              f"({state.topology.node(placement.node_id).rack})")
+
+    # 4. Apply the placements and audit them against the constraints.
+    for p in result.placements:
+        state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+    report = evaluate_violations(state, manager=manager)
+    print(f"\nConstraint audit: {report.violating_containers} of "
+          f"{report.subject_containers} constrained containers in violation")
+    assert report.violating_containers == 0
+
+
+if __name__ == "__main__":
+    main()

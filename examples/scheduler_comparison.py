@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Every scheduler in the repo on one workload, side by side.
+
+Places the same HBase population with Medea-ILP, the Medea-NC / Medea-TP /
+Serial heuristics, J-Kube, J-Kube++ and the YARN baseline, then prints one
+row per algorithm: violations, fragmentation, load imbalance and placement
+latency — a miniature of the paper's Figs. 9–11.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    IlpScheduler,
+    JKubePlusPlusScheduler,
+    JKubeScheduler,
+    NodeCandidatesScheduler,
+    SerialScheduler,
+    TagPopularityScheduler,
+    build_cluster,
+    evaluate_violations,
+)
+from repro.workloads import hbase_population
+
+SCHEDULERS = [
+    IlpScheduler(max_candidate_nodes=50, time_limit_s=5.0, mip_rel_gap=0.02),
+    NodeCandidatesScheduler(),
+    TagPopularityScheduler(),
+    SerialScheduler(),
+    JKubeScheduler(),
+    JKubePlusPlusScheduler(),
+    ConstraintUnawareScheduler(seed=11),
+]
+
+
+def main() -> None:
+    population = hbase_population(10, max_rs_per_node=3)
+    print(f"{'scheduler':12s} {'violations':>11s} {'frag %':>7s} "
+          f"{'util CV':>8s} {'latency':>9s}")
+    for scheduler in SCHEDULERS:
+        topology = build_cluster(60, racks=6, memory_mb=16 * 1024, vcores=8)
+        state = ClusterState(topology)
+        manager = ConstraintManager(topology)
+        start = time.perf_counter()
+        for index in range(0, len(population), 2):
+            batch = population[index:index + 2]
+            for request in batch:
+                manager.register_application(request)
+            result = scheduler.place(batch, state, manager)
+            for p in result.placements:
+                state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+        elapsed = time.perf_counter() - start
+        report = evaluate_violations(state, manager=manager)
+        print(f"{scheduler.name:12s} "
+              f"{report.violating_containers:4d}/{report.subject_containers:<4d}   "
+              f"{100 * state.fragmented_node_fraction():6.1f} "
+              f"{state.memory_utilization_cv():8.3f} "
+              f"{elapsed * 1000:7.0f}ms")
+
+
+if __name__ == "__main__":
+    main()

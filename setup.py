@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environments this repo targets lack the ``wheel`` package, so
+PEP 517/660 editable installs (which shell out to ``bdist_wheel``) fail.
+With this shim and no ``[build-system]`` table in pyproject.toml,
+``pip install -e .`` takes the legacy ``setup.py develop`` path, which works
+without network access.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

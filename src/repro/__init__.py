@@ -1,0 +1,117 @@
+"""Medea: scheduling of long-running applications in shared production clusters.
+
+A full Python reproduction of the EuroSys 2018 paper.  The public API
+re-exports the pieces a downstream user needs to build and place LRAs::
+
+    from repro import (
+        build_cluster, ClusterState, Resource,
+        LRARequest, ContainerRequest,
+        affinity, anti_affinity, cardinality,
+        IlpScheduler, MedeaScheduler, CapacityScheduler,
+    )
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from __future__ import annotations
+
+from .cluster import (
+    Allocation,
+    ClusterState,
+    ClusterTopology,
+    Node,
+    NodeGroup,
+    Resource,
+    build_cluster,
+)
+from .core import (
+    NODE_SCOPE,
+    RACK_SCOPE,
+    UNBOUNDED,
+    CompoundConstraint,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    ContainerPlacement,
+    ContainerRequest,
+    IlpScheduler,
+    IlpWeights,
+    JKubePlusPlusScheduler,
+    JKubeScheduler,
+    LRARequest,
+    LRAScheduler,
+    MedeaScheduler,
+    Migration,
+    MigrationPlan,
+    MigrationPlanner,
+    NodeCandidatesScheduler,
+    PlacementConstraint,
+    PlacementResult,
+    SerialScheduler,
+    TagConstraint,
+    TagExpression,
+    TagPopularityScheduler,
+    TaskRequest,
+    affinity,
+    anti_affinity,
+    cardinality,
+    format_constraint,
+    next_app_id,
+    parse_constraint,
+)
+from .metrics import BoxStats, evaluate_violations
+from .taskscheduler import CapacityScheduler, FairScheduler, FifoScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cluster
+    "Allocation",
+    "ClusterState",
+    "ClusterTopology",
+    "Node",
+    "NodeGroup",
+    "Resource",
+    "build_cluster",
+    # constraints
+    "NODE_SCOPE",
+    "RACK_SCOPE",
+    "UNBOUNDED",
+    "CompoundConstraint",
+    "PlacementConstraint",
+    "TagConstraint",
+    "TagExpression",
+    "affinity",
+    "anti_affinity",
+    "cardinality",
+    "format_constraint",
+    "parse_constraint",
+    # requests
+    "ContainerRequest",
+    "LRARequest",
+    "TaskRequest",
+    "next_app_id",
+    # schedulers
+    "ConstraintManager",
+    "ConstraintUnawareScheduler",
+    "ContainerPlacement",
+    "IlpScheduler",
+    "IlpWeights",
+    "JKubePlusPlusScheduler",
+    "JKubeScheduler",
+    "LRAScheduler",
+    "MedeaScheduler",
+    "Migration",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "NodeCandidatesScheduler",
+    "PlacementResult",
+    "SerialScheduler",
+    "TagPopularityScheduler",
+    "CapacityScheduler",
+    "FairScheduler",
+    "FifoScheduler",
+    # metrics
+    "BoxStats",
+    "evaluate_violations",
+]

@@ -1,0 +1,43 @@
+"""LRA application templates used across the evaluation."""
+
+from __future__ import annotations
+
+from .common import max_collocated, same_rack_group, worker_containers
+from .hbase import (
+    HB_MASTER,
+    HB_RS,
+    HB_SECONDARY,
+    HB_TAG,
+    HB_THRIFT,
+    hbase_instance,
+)
+from .storm import (
+    MEMCACHED_TAG,
+    STORM_SUPERVISOR,
+    STORM_TAG,
+    memcached_instance,
+    storm_instance,
+)
+from .tensorflow import TF_CHIEF, TF_PS, TF_TAG, TF_WORKER, tensorflow_instance
+
+__all__ = [
+    "max_collocated",
+    "same_rack_group",
+    "worker_containers",
+    "HB_MASTER",
+    "HB_RS",
+    "HB_SECONDARY",
+    "HB_TAG",
+    "HB_THRIFT",
+    "hbase_instance",
+    "MEMCACHED_TAG",
+    "STORM_SUPERVISOR",
+    "STORM_TAG",
+    "memcached_instance",
+    "storm_instance",
+    "TF_CHIEF",
+    "TF_PS",
+    "TF_TAG",
+    "TF_WORKER",
+    "tensorflow_instance",
+]

@@ -1,0 +1,67 @@
+"""Shared helpers for building LRA application templates."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..cluster.resources import Resource
+from ..core.constraints import (
+    PlacementConstraint,
+    TagConstraint,
+    TagExpression,
+    UNBOUNDED,
+    cardinality,
+)
+from ..core.requests import ContainerRequest
+from ..tags import NODE_SCOPE
+
+__all__ = ["worker_containers", "max_collocated", "same_rack_group"]
+
+
+def worker_containers(
+    app_id: str,
+    role_tag: str,
+    app_tag: str,
+    count: int,
+    resource: Resource,
+    extra_tags: Iterable[str] = (),
+) -> list[ContainerRequest]:
+    """``count`` identical containers tagged with app type and role."""
+    tags = frozenset({app_tag, role_tag, *extra_tags})
+    return [
+        ContainerRequest(f"{app_id}/{role_tag}-{i}", resource, tags)
+        for i in range(count)
+    ]
+
+
+def max_collocated(
+    tag: str, limit: int, node_group: str = NODE_SCOPE, *, weight: float = 1.0
+) -> PlacementConstraint:
+    """"No more than ``limit`` containers with ``tag`` per ``node_group`` set."
+
+    Constraint semantics count *other* containers (the subject is excluded),
+    so a per-node limit of ``limit`` becomes ``cmax = limit - 1`` on the
+    others.
+    """
+    if limit < 1:
+        raise ValueError("limit must be >= 1")
+    return cardinality(tag, tag, 0, limit - 1, node_group, weight=weight)
+
+
+def same_rack_group(
+    subject_tags: Iterable[str], group_size: int, *, weight: float = 1.0
+) -> PlacementConstraint:
+    """All ``group_size`` containers matching the tag conjunction on one rack.
+
+    Encoded as: each member must see all ``group_size - 1`` other members on
+    its rack (``cmin = group_size - 1``).
+    """
+    if group_size < 2:
+        raise ValueError("a same-rack group needs at least two containers")
+    expr = TagExpression(subject_tags)
+    return PlacementConstraint(
+        subject=expr,
+        tag_constraints=(TagConstraint(expr, group_size - 1, UNBOUNDED),),
+        node_group="rack",
+        weight=weight,
+    )

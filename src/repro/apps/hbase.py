@@ -1,0 +1,78 @@
+"""HBase LRA template (paper §7.1).
+
+One instance = N region servers (workers) plus a Master, a Thrift server and
+a Secondary master.  Default constraints match the paper's experimental
+setup:
+
+* intra-application rack affinity: all region servers of the instance on the
+  same rack (minimise network traffic);
+* inter-application node cardinality: no more than ``max_rs_per_node``
+  region servers — of *any* HBase instance — on one node (minimise
+  interference);
+* node affinity between Master and Thrift server;
+* node anti-affinity between Master and Secondary.
+"""
+
+from __future__ import annotations
+
+from ..cluster.resources import Resource
+from ..core.constraints import PlacementConstraint, affinity, anti_affinity
+from ..core.requests import ContainerRequest, LRARequest
+from ..tags import app_id_tag
+from .common import max_collocated, same_rack_group, worker_containers
+
+__all__ = ["hbase_instance", "HB_TAG", "HB_RS", "HB_MASTER", "HB_THRIFT", "HB_SECONDARY"]
+
+HB_TAG = "hb"
+HB_RS = "hb_rs"
+HB_MASTER = "hb_m"
+HB_THRIFT = "hb_th"
+HB_SECONDARY = "hb_sec"
+
+#: Paper container sizes: <2 GB, 1 CPU> workers, <1 GB, 1 CPU> the rest.
+WORKER_RESOURCE = Resource(2048, 1)
+AUX_RESOURCE = Resource(1024, 1)
+
+
+def hbase_instance(
+    app_id: str,
+    *,
+    region_servers: int = 10,
+    max_rs_per_node: int = 2,
+    rack_affinity: bool = True,
+    with_aux: bool = True,
+    constraints_enabled: bool = True,
+    queue: str = "default",
+) -> LRARequest:
+    """Build an HBase LRA request.
+
+    ``constraints_enabled=False`` produces the *no-constraints* deployment
+    used as a baseline in §2.2.
+    """
+    containers: list[ContainerRequest] = worker_containers(
+        app_id, HB_RS, HB_TAG, region_servers, WORKER_RESOURCE
+    )
+    if with_aux:
+        for role in (HB_MASTER, HB_THRIFT, HB_SECONDARY):
+            containers.append(
+                ContainerRequest(
+                    f"{app_id}/{role}", AUX_RESOURCE, frozenset({HB_TAG, role})
+                )
+            )
+
+    constraints: list[PlacementConstraint] = []
+    if constraints_enabled:
+        app_tag = app_id_tag(app_id)
+        if rack_affinity and region_servers >= 2:
+            constraints.append(
+                same_rack_group((app_tag, HB_RS), region_servers)
+            )
+        constraints.append(max_collocated(HB_RS, max_rs_per_node))
+        if with_aux:
+            constraints.append(
+                affinity((app_tag, HB_MASTER), (app_tag, HB_THRIFT), "node")
+            )
+            constraints.append(
+                anti_affinity((app_tag, HB_MASTER), (app_tag, HB_SECONDARY), "node")
+            )
+    return LRARequest(app_id, containers, constraints, queue=queue)

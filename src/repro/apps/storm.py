@@ -1,0 +1,75 @@
+"""Storm + Memcached templates for the §2.2 affinity study.
+
+The paper deploys a Storm topology (five supervisors) computing trending
+hashtags, joined against user profiles in a single-instance Memcached, and
+compares three placements:
+
+* *no-constraints* — whatever the scheduler picks;
+* *intra-only* — all Storm containers on the same node;
+* *intra-inter* — Storm containers and the Memcached container on the same
+  node.
+"""
+
+from __future__ import annotations
+
+from ..cluster.resources import Resource
+from ..core.constraints import PlacementConstraint, affinity
+from ..core.requests import ContainerRequest, LRARequest
+from ..tags import app_id_tag
+from .common import worker_containers
+
+__all__ = [
+    "storm_instance",
+    "memcached_instance",
+    "STORM_TAG",
+    "STORM_SUPERVISOR",
+    "MEMCACHED_TAG",
+]
+
+STORM_TAG = "storm"
+STORM_SUPERVISOR = "storm_sup"
+MEMCACHED_TAG = "mem"
+
+SUPERVISOR_RESOURCE = Resource(2048, 1)
+MEMCACHED_RESOURCE = Resource(4096, 1)
+
+
+def storm_instance(
+    app_id: str,
+    *,
+    supervisors: int = 5,
+    placement: str = "none",
+) -> LRARequest:
+    """Build a Storm LRA with one of the §2.2 placement policies:
+    ``"none"``, ``"intra"`` (supervisors collocated on one node) or
+    ``"intra-inter"`` (additionally node affinity to any Memcached
+    container)."""
+    if placement not in ("none", "intra", "intra-inter"):
+        raise ValueError(f"unknown placement policy {placement!r}")
+    containers = worker_containers(
+        app_id, STORM_SUPERVISOR, STORM_TAG, supervisors, SUPERVISOR_RESOURCE
+    )
+    constraints: list[PlacementConstraint] = []
+    app_tag = app_id_tag(app_id)
+    if placement in ("intra", "intra-inter") and supervisors >= 2:
+        # All supervisors of this instance on the same node: each must see
+        # every other on its node.
+        constraints.append(
+            affinity(
+                (app_tag, STORM_SUPERVISOR),
+                (app_tag, STORM_SUPERVISOR),
+                "node",
+                min_count=supervisors - 1,
+            )
+        )
+    if placement == "intra-inter":
+        # Paper example Caf: each storm container next to >= 1 mem container.
+        constraints.append(affinity(STORM_TAG, MEMCACHED_TAG, "node"))
+    return LRARequest(app_id, containers, constraints)
+
+
+def memcached_instance(app_id: str, *, memory_mb: int = 4096) -> LRARequest:
+    container = ContainerRequest(
+        f"{app_id}/mc", Resource(memory_mb, 1), frozenset({MEMCACHED_TAG})
+    )
+    return LRARequest(app_id, [container])

@@ -1,0 +1,56 @@
+"""TensorFlow LRA template (paper §7.1).
+
+One instance = 8 workers + 2 parameter servers + 1 chief worker.  Default
+constraints: all workers of the instance on the same rack, and no more than
+``max_workers_per_node`` TensorFlow workers (across instances) per node.
+"""
+
+from __future__ import annotations
+
+from ..cluster.resources import Resource
+from ..core.constraints import PlacementConstraint
+from ..core.requests import ContainerRequest, LRARequest
+from ..tags import app_id_tag
+from .common import max_collocated, same_rack_group, worker_containers
+
+__all__ = ["tensorflow_instance", "TF_TAG", "TF_WORKER", "TF_PS", "TF_CHIEF"]
+
+TF_TAG = "tf"
+TF_WORKER = "tf_w"
+TF_PS = "tf_ps"
+TF_CHIEF = "tf_chief"
+
+WORKER_RESOURCE = Resource(2048, 1)
+#: Chief workers get <4 GB, 1 CPU> (paper §7.1).
+CHIEF_RESOURCE = Resource(4096, 1)
+PS_RESOURCE = Resource(1024, 1)
+
+
+def tensorflow_instance(
+    app_id: str,
+    *,
+    workers: int = 8,
+    parameter_servers: int = 2,
+    max_workers_per_node: int = 4,
+    rack_affinity: bool = True,
+    constraints_enabled: bool = True,
+    queue: str = "default",
+) -> LRARequest:
+    containers: list[ContainerRequest] = worker_containers(
+        app_id, TF_WORKER, TF_TAG, workers, WORKER_RESOURCE
+    )
+    containers += worker_containers(
+        app_id, TF_PS, TF_TAG, parameter_servers, PS_RESOURCE
+    )
+    containers.append(
+        ContainerRequest(
+            f"{app_id}/{TF_CHIEF}", CHIEF_RESOURCE, frozenset({TF_TAG, TF_CHIEF})
+        )
+    )
+    constraints: list[PlacementConstraint] = []
+    if constraints_enabled:
+        app_tag = app_id_tag(app_id)
+        if rack_affinity and workers >= 2:
+            constraints.append(same_rack_group((app_tag, TF_WORKER), workers))
+        constraints.append(max_collocated(TF_WORKER, max_workers_per_node))
+    return LRARequest(app_id, containers, constraints, queue=queue)

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four commands, each a thin wrapper over the library:
+
+* ``table1`` — print the paper's scheduler capability matrix.
+* ``parse``  — validate a constraint written in the paper's notation and
+  echo its canonical form.
+* ``compare`` — place an HBase population with every scheduler and print a
+  violations / fragmentation / latency table.
+* ``simulate`` — run a mixed LRA + batch workload through the two-scheduler
+  simulation and report placement quality and task latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Medea (EuroSys 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 capability matrix")
+
+    p_parse = sub.add_parser("parse", help="validate a paper-notation constraint")
+    p_parse.add_argument("constraint", help='e.g. "{storm, {hb & mem, 1, inf}, node}"')
+
+    p_compare = sub.add_parser("compare", help="compare all schedulers on one workload")
+    p_compare.add_argument("--nodes", type=int, default=60)
+    p_compare.add_argument("--racks", type=int, default=6)
+    p_compare.add_argument("--instances", type=int, default=8)
+    p_compare.add_argument("--max-rs-per-node", type=int, default=3)
+
+    p_sim = sub.add_parser("simulate", help="run a mixed-workload simulation")
+    p_sim.add_argument("--nodes", type=int, default=40)
+    p_sim.add_argument("--horizon", type=float, default=90.0)
+    p_sim.add_argument("--lras", type=int, default=3)
+    p_sim.add_argument("--tasks", type=int, default=100)
+    return parser
+
+
+def _cmd_table1() -> int:
+    from .core.capabilities import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_parse(text: str) -> int:
+    from .core.dsl import ConstraintSyntaxError, format_constraint, parse_constraint
+
+    try:
+        constraint = parse_constraint(text)
+    except ConstraintSyntaxError as exc:
+        print(f"invalid constraint: {exc}", file=sys.stderr)
+        return 1
+    tc = constraint.tag_constraints[0]
+    if tc.is_affinity():
+        kind = "affinity"
+    elif tc.is_anti_affinity():
+        kind = "anti-affinity"
+    else:
+        kind = "cardinality"
+    print(format_constraint(constraint))
+    print(f"kind: {kind}; scope: {constraint.node_group}")
+    return 0
+
+
+def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
+    from . import (
+        ClusterState,
+        ConstraintManager,
+        ConstraintUnawareScheduler,
+        IlpScheduler,
+        JKubePlusPlusScheduler,
+        JKubeScheduler,
+        NodeCandidatesScheduler,
+        SerialScheduler,
+        TagPopularityScheduler,
+        build_cluster,
+        evaluate_violations,
+    )
+    from .reporting import render_table
+    from .workloads import hbase_population
+
+    schedulers = [
+        IlpScheduler(max_candidate_nodes=min(nodes, 60), time_limit_s=5.0,
+                     mip_rel_gap=0.02),
+        NodeCandidatesScheduler(),
+        TagPopularityScheduler(),
+        SerialScheduler(),
+        JKubeScheduler(),
+        JKubePlusPlusScheduler(),
+        ConstraintUnawareScheduler(seed=11),
+    ]
+    population = hbase_population(instances, max_rs_per_node=max_rs)
+    rows = []
+    for scheduler in schedulers:
+        topology = build_cluster(nodes, racks=racks, memory_mb=16 * 1024, vcores=8)
+        state = ClusterState(topology)
+        manager = ConstraintManager(topology)
+        start = time.perf_counter()
+        for index in range(0, len(population), 2):
+            batch = population[index:index + 2]
+            for request in batch:
+                manager.register_application(request)
+            result = scheduler.place(batch, state, manager)
+            for p in result.placements:
+                state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        report = evaluate_violations(state, manager=manager)
+        rows.append([
+            scheduler.name,
+            f"{report.violating_containers}/{report.subject_containers}",
+            100 * state.fragmented_node_fraction(),
+            state.memory_utilization_cv(),
+            f"{elapsed_ms:.0f}ms",
+        ])
+    print(render_table(
+        ["scheduler", "violations", "frag %", "util CV", "latency"], rows
+    ))
+    return 0
+
+
+def _cmd_simulate(nodes: int, horizon: float, lras: int, tasks: int) -> int:
+    from . import IlpScheduler, build_cluster, evaluate_violations
+    from .apps import hbase_instance, tensorflow_instance
+    from .metrics import BoxStats
+    from .sim import ClusterSimulation, SimConfig
+    from .workloads import GridMixConfig, generate_tasks
+
+    topology = build_cluster(nodes, racks=max(2, nodes // 10),
+                             memory_mb=16 * 1024, vcores=8)
+    sim = ClusterSimulation(
+        topology,
+        IlpScheduler(max_candidate_nodes=min(nodes, 60), time_limit_s=5.0,
+                     mip_rel_gap=0.02),
+        config=SimConfig(scheduling_interval_s=10.0, horizon_s=horizon),
+    )
+    for i in range(lras):
+        template = hbase_instance if i % 2 == 0 else tensorflow_instance
+        sim.submit_lra(template(f"lra-{i}"), at=2.0 + 11.0 * i)
+    for arrival, task in generate_tasks(GridMixConfig(seed=5), count=tasks):
+        if arrival < horizon:
+            sim.submit_task(task, at=arrival)
+    sim.run(horizon)
+
+    report = evaluate_violations(sim.state, manager=sim.medea.manager)
+    print(f"LRAs placed:        {len(sim.lra_latencies())}/{lras}")
+    print(f"LRA violations:     {report.violating_containers}/{report.subject_containers}")
+    latencies = sim.task_latencies()
+    if latencies:
+        stats = BoxStats.from_values(latencies)
+        print(f"tasks allocated:    {stats.count}")
+        print(f"task latency (s):   median {stats.median:.2f}, p99 {stats.p99:.2f}")
+    print(f"memory utilisation: {100 * sim.state.cluster_memory_utilization():.1f}%")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "parse":
+        return _cmd_parse(args.constraint)
+    if args.command == "compare":
+        return _cmd_compare(args.nodes, args.racks, args.instances,
+                            args.max_rs_per_node)
+    if args.command == "simulate":
+        return _cmd_simulate(args.nodes, args.horizon, args.lras, args.tasks)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Cluster substrate: resources, nodes, topology/node groups, global state."""
+
+from __future__ import annotations
+
+from .node import Allocation, Node
+from .resources import Resource
+from .state import ClusterState, PlacedContainer
+from .topology import ClusterTopology, NodeGroup, build_cluster
+
+__all__ = [
+    "Allocation",
+    "Node",
+    "Resource",
+    "ClusterState",
+    "PlacedContainer",
+    "ClusterTopology",
+    "NodeGroup",
+    "build_cluster",
+]

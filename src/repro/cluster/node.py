@@ -1,0 +1,132 @@
+"""Cluster node model.
+
+A node has a resource capacity, a set of *static* attributes exposed as tags
+(e.g. ``gpu``, mirroring §4.1's note that static machine attributes are a
+special case of the tag model), and a dynamic tag multiset fed by the
+containers currently allocated on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..tags import TagMultiset
+from .resources import Resource
+
+__all__ = ["Node", "Allocation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """A container currently occupying resources on a node."""
+
+    container_id: str
+    resource: Resource
+    tags: frozenset[str]
+    app_id: str
+    long_running: bool = True
+
+
+class Node:
+    """A single cluster machine.
+
+    Mutation happens only through :meth:`allocate` / :meth:`release` so the
+    free-resource vector and the dynamic tag multiset can never drift apart.
+    """
+
+    __slots__ = ("node_id", "rack", "capacity", "static_tags", "_free",
+                 "_allocations", "_dynamic_tags", "available")
+
+    def __init__(
+        self,
+        node_id: str,
+        capacity: Resource,
+        rack: str = "rack-0",
+        static_tags: Iterable[str] = (),
+    ) -> None:
+        self.node_id = node_id
+        self.rack = rack
+        self.capacity = capacity
+        self.static_tags = frozenset(static_tags)
+        self._free = capacity
+        self._allocations: dict[str, Allocation] = {}
+        self._dynamic_tags = TagMultiset()
+        #: False while the machine is down / being upgraded (failure replay).
+        self.available = True
+
+    # -- resources ----------------------------------------------------------
+
+    @property
+    def free(self) -> Resource:
+        return self._free
+
+    @property
+    def used(self) -> Resource:
+        return self.capacity - self._free
+
+    def can_fit(self, demand: Resource) -> bool:
+        return self.available and demand.fits(self._free)
+
+    # -- allocation lifecycle ------------------------------------------------
+
+    def allocate(self, allocation: Allocation) -> None:
+        if allocation.container_id in self._allocations:
+            raise ValueError(f"container {allocation.container_id} already on {self.node_id}")
+        if not allocation.resource.fits(self._free):
+            raise ValueError(
+                f"container {allocation.container_id} ({allocation.resource}) does not fit "
+                f"free {self._free} on {self.node_id}"
+            )
+        self._allocations[allocation.container_id] = allocation
+        self._free = self._free - allocation.resource
+        self._dynamic_tags.add_all(allocation.tags)
+
+    def release(self, container_id: str) -> Allocation:
+        try:
+            allocation = self._allocations.pop(container_id)
+        except KeyError:
+            raise KeyError(f"container {container_id} not on node {self.node_id}") from None
+        self._free = self._free + allocation.resource
+        self._dynamic_tags.remove_all(allocation.tags)
+        return allocation
+
+    @property
+    def allocations(self) -> dict[str, Allocation]:
+        return dict(self._allocations)
+
+    def container_count(self) -> int:
+        return len(self._allocations)
+
+    # -- tags ----------------------------------------------------------------
+
+    def tag_multiset(self) -> TagMultiset:
+        """The node tag set 𝒯n with cardinalities γn, including static tags.
+
+        Static tags count once — they describe the machine, not containers.
+        """
+        tags = self._dynamic_tags.copy()
+        for tag in self.static_tags:
+            tags.add(tag)
+        return tags
+
+    def dynamic_tags(self) -> TagMultiset:
+        """Only container-contributed tags (no static attributes)."""
+        return self._dynamic_tags
+
+    # -- metrics --------------------------------------------------------------
+
+    def memory_utilization(self) -> float:
+        if self.capacity.memory_mb == 0:
+            return 0.0
+        return 1.0 - self._free.memory_mb / self.capacity.memory_mb
+
+    def is_fragmented(self, threshold: Resource) -> bool:
+        """Paper §7.4: a node is fragmented if it has less free than the
+        threshold (1 core / 2 GB) *and* is not fully utilised."""
+        if self._free.is_zero():
+            return False
+        return not threshold.fits(self._free)
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, free={self._free}, containers={len(self._allocations)})"

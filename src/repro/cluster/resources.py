@@ -1,0 +1,105 @@
+"""Multi-dimensional resource vectors.
+
+YARN containers are sized in memory (MB) and virtual cores.  The paper's ILP
+formulation (§5.2, footnote 6) uses a single scalar for simplicity but notes
+the model extends to a vector of resources with one equation per resource
+type.  We implement the vector form throughout and expose a scalar projection
+(:meth:`Resource.scalar`) for components of the formulation, such as the
+fragmentation indicator, that the paper defines over a single value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Resource", "ZERO"]
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """An immutable ``<memory MB, vcores>`` resource vector.
+
+    Supports element-wise arithmetic and dominance comparison.  ``a.fits(b)``
+    means a container demanding ``a`` can be served from free capacity ``b``.
+    """
+
+    memory_mb: int
+    vcores: int
+
+    def __post_init__(self) -> None:
+        if self.memory_mb < 0 or self.vcores < 0:
+            raise ValueError(
+                f"resources must be non-negative, got {self.memory_mb=} {self.vcores=}"
+            )
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.memory_mb + other.memory_mb, self.vcores + other.vcores)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        """Element-wise subtraction, clamped at zero per dimension.
+
+        Clamping mirrors YARN's ``Resources.subtractNonNegative``: transient
+        over-allocation in one dimension must not produce a negative free
+        vector that would poison later ``fits`` checks.
+        """
+        return Resource(
+            max(0, self.memory_mb - other.memory_mb),
+            max(0, self.vcores - other.vcores),
+        )
+
+    def __mul__(self, factor: int | float) -> "Resource":
+        if factor < 0:
+            raise ValueError("cannot scale a Resource by a negative factor")
+        return Resource(int(self.memory_mb * factor), int(self.vcores * factor))
+
+    __rmul__ = __mul__
+
+    # -- comparison ---------------------------------------------------------
+
+    def fits(self, capacity: "Resource") -> bool:
+        """True if this demand can be satisfied out of ``capacity``."""
+        return self.memory_mb <= capacity.memory_mb and self.vcores <= capacity.vcores
+
+    def dominates(self, other: "Resource") -> bool:
+        """True if every dimension of ``self`` is >= the same dimension of ``other``."""
+        return other.fits(self)
+
+    def is_zero(self) -> bool:
+        return self.memory_mb == 0 and self.vcores == 0
+
+    # -- projections --------------------------------------------------------
+
+    def scalar(self) -> float:
+        """Scalar projection used where the ILP needs one value per node.
+
+        Memory is the contended resource in the paper's clusters (cluster
+        utilisation is always quoted as *memory* utilisation, e.g. §7.4), so
+        the projection is memory in MB.
+        """
+        return float(self.memory_mb)
+
+    def dominant_share(self, total: "Resource") -> float:
+        """Dominant resource share of this demand relative to ``total``.
+
+        Used by the fair scheduler for DRF-style ordering.  A zero ``total``
+        dimension contributes no share.
+        """
+        shares = []
+        if total.memory_mb > 0:
+            shares.append(self.memory_mb / total.memory_mb)
+        if total.vcores > 0:
+            shares.append(self.vcores / total.vcores)
+        return max(shares, default=0.0)
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.memory_mb
+        yield self.vcores
+
+    def __str__(self) -> str:
+        return f"<{self.memory_mb}MB, {self.vcores}c>"
+
+
+ZERO = Resource(0, 0)

@@ -1,0 +1,313 @@
+"""Global cluster state: allocations, tag cardinalities, constraint checks.
+
+This is the single source of truth both schedulers read (Fig. 4's *cluster
+state* component).  It maintains, incrementally, the per-node-set tag
+cardinalities γ𝒮 for every registered node group so that constraint
+evaluation inside scheduling loops is O(#groups) instead of O(cluster size).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from ..tags import TagMultiset
+
+if TYPE_CHECKING:  # import only for annotations: core depends on cluster
+    from ..core.constraints import PlacementConstraint
+from .node import Allocation, Node
+from .resources import Resource
+from .topology import ClusterTopology
+
+__all__ = ["ClusterState", "PlacedContainer"]
+
+
+class PlacedContainer:
+    """Bookkeeping record for a container placed somewhere in the cluster."""
+
+    __slots__ = ("container_id", "node_id", "allocation")
+
+    def __init__(self, container_id: str, node_id: str, allocation: Allocation) -> None:
+        self.container_id = container_id
+        self.node_id = node_id
+        self.allocation = allocation
+
+
+class ClusterState:
+    """Mutable cluster-wide allocation state over a fixed topology."""
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self.topology = topology
+        self._containers: dict[str, PlacedContainer] = {}
+        # (group name, node-set index) -> Counter of tags, maintained
+        # incrementally on allocate/release.
+        self._group_tags: dict[tuple[str, int], Counter[str]] = {}
+
+    # -- allocation lifecycle --------------------------------------------------
+
+    def allocate(
+        self,
+        container_id: str,
+        node_id: str,
+        resource: Resource,
+        tags: Iterable[str],
+        app_id: str,
+        *,
+        long_running: bool = True,
+    ) -> PlacedContainer:
+        if container_id in self._containers:
+            raise ValueError(f"container {container_id} already allocated")
+        node = self.topology.node(node_id)
+        allocation = Allocation(
+            container_id=container_id,
+            resource=resource,
+            tags=frozenset(tags),
+            app_id=app_id,
+            long_running=long_running,
+        )
+        node.allocate(allocation)
+        placed = PlacedContainer(container_id, node_id, allocation)
+        self._containers[container_id] = placed
+        self._update_group_tags(node_id, allocation.tags, +1)
+        return placed
+
+    def release(self, container_id: str) -> PlacedContainer:
+        try:
+            placed = self._containers.pop(container_id)
+        except KeyError:
+            raise KeyError(f"container {container_id} is not allocated") from None
+        self.topology.node(placed.node_id).release(container_id)
+        self._update_group_tags(placed.node_id, placed.allocation.tags, -1)
+        return placed
+
+    def release_application(self, app_id: str) -> list[PlacedContainer]:
+        """Release every container of an application (LRA teardown)."""
+        victims = [c for c in self._containers.values() if c.allocation.app_id == app_id]
+        for placed in victims:
+            self.release(placed.container_id)
+        return victims
+
+    def _update_group_tags(self, node_id: str, tags: frozenset[str], delta: int) -> None:
+        for group_name in self.topology.group_names():
+            for idx in self.topology.set_indices_for_node(group_name, node_id):
+                counter = self._group_tags.setdefault((group_name, idx), Counter())
+                for tag in tags:
+                    counter[tag] += delta
+                    if counter[tag] <= 0:
+                        del counter[tag]
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def containers(self) -> Mapping[str, PlacedContainer]:
+        return self._containers
+
+    def container(self, container_id: str) -> PlacedContainer:
+        return self._containers[container_id]
+
+    def containers_of_app(self, app_id: str) -> list[PlacedContainer]:
+        return [c for c in self._containers.values() if c.allocation.app_id == app_id]
+
+    def iter_nodes(self) -> Iterator[Node]:
+        return iter(self.topology)
+
+    def free_resources(self, node_id: str) -> Resource:
+        return self.topology.node(node_id).free
+
+    def total_free(self) -> Resource:
+        total = Resource(0, 0)
+        for node in self.topology:
+            if node.available:
+                total = total + node.free
+        return total
+
+    # -- tag cardinality ------------------------------------------------------
+
+    def group_tag_count(self, group_name: str, set_index: int, tag: str) -> int:
+        """γ𝒮(tag) for the ``set_index``-th node set of ``group_name``."""
+        return self._group_tags.get((group_name, set_index), Counter()).get(tag, 0)
+
+    def group_multiset(self, group_name: str, set_index: int) -> TagMultiset:
+        multiset = TagMultiset()
+        for tag, count in self._group_tags.get((group_name, set_index), Counter()).items():
+            multiset.add(tag, count)
+        return multiset
+
+    def gamma(
+        self,
+        group_name: str,
+        set_index: int,
+        tags: Iterable[str],
+        *,
+        exclude: Iterable[str] = (),
+    ) -> int:
+        """γ𝒮 of a tag conjunction, optionally excluding one container's own
+        contribution (the ILP's ``tij ≠ tisjs`` exclusion in Eqs. 6–7).
+
+        The conjunction cardinality is the minimum over individual tags (see
+        :meth:`TagMultiset.min_cardinality`); ``exclude`` subtracts one
+        occurrence of each listed tag, used when the subject container is
+        itself already counted in the state.
+        """
+        counter = self._group_tags.get((group_name, set_index), Counter())
+        excl = set(exclude)
+        gamma = None
+        for tag in tags:
+            count = counter.get(tag, 0)
+            if tag in excl:
+                count -= 1
+            gamma = count if gamma is None else min(gamma, count)
+        return max(0, gamma if gamma is not None else 0)
+
+    def group_sets_for_node(self, group_name: str, node_id: str) -> list[int]:
+        """Indices of ``group_name``'s node sets containing ``node_id``."""
+        return self.topology.set_indices_for_node(group_name, node_id)
+
+    # -- constraint evaluation -----------------------------------------------
+
+    def check_placement(
+        self,
+        constraint: PlacementConstraint,
+        node_id: str,
+        subject_tags: Iterable[str],
+        *,
+        placed: bool,
+    ) -> tuple[bool, float]:
+        """Evaluate ``constraint`` for a subject container on ``node_id``.
+
+        ``placed=True`` means the subject's tags are already counted in the
+        state (post-placement audit) and must be excluded from the target
+        count; ``placed=False`` means the check is hypothetical (the subject
+        is not yet allocated, so counts are already "other containers only").
+
+        Returns ``(satisfied, violation_extent)`` where the extent follows
+        Eq. 8, summed across the node sets of the group containing the node
+        and across the conjunction's tag constraints.
+        """
+        subject = frozenset(subject_tags)
+        if not constraint.applies_to(subject):
+            return True, 0.0
+        set_indices = self.group_sets_for_node(constraint.node_group, node_id)
+        if not set_indices:
+            # Node belongs to no set of the group: the constraint cannot be
+            # evaluated there, which we treat as one violation per tag
+            # constraint (the subject was required to sit inside the group).
+            return False, float(len(constraint.tag_constraints))
+        satisfied = True
+        extent = 0.0
+        for set_index in set_indices:
+            for tc in constraint.tag_constraints:
+                exclude = tc.c_tag.tags & subject if placed else ()
+                gamma = self.gamma(
+                    constraint.node_group, set_index, tc.c_tag.tags, exclude=exclude
+                )
+                if not tc.satisfied_by(gamma):
+                    satisfied = False
+                    extent += tc.violation_extent(gamma)
+        return satisfied, extent
+
+    def placement_delta_violations(
+        self,
+        constraints: Iterable[PlacementConstraint],
+        node_id: str,
+        subject_tags: Iterable[str],
+    ) -> float:
+        """Violation extent a hypothetical placement would incur.
+
+        Scores both directions: (a) constraints whose *subject* matches the
+        new container, evaluated on the candidate node; and (b) constraints
+        of already-placed subjects whose *target* count the new container
+        would change (e.g. placing an ``hb`` container next to a subject
+        with ``{hb, 0, 0}`` anti-affinity).  Used by the greedy schedulers
+        and J-Kube scoring.
+        """
+        subject = frozenset(subject_tags)
+        total = 0.0
+        for constraint in constraints:
+            weight = constraint.weight
+            satisfied, extent = self.check_placement(
+                constraint, node_id, subject, placed=False
+            )
+            if not satisfied:
+                # The Eq.-8 extent is the gradient greedy descent needs: a
+                # nearly-satisfied cmin (small extent) must score better than
+                # a far-from-satisfied one.
+                total += weight * extent
+            total += weight * self._reverse_violations(constraint, node_id, subject)
+        return total
+
+    def _reverse_violations(
+        self,
+        constraint: PlacementConstraint,
+        node_id: str,
+        new_tags: frozenset[str],
+    ) -> float:
+        """Extra violations placing ``new_tags`` on ``node_id`` inflicts on
+        *existing* subjects of ``constraint`` in the affected node sets.
+
+        Computed entirely from the incremental γ counters (O(1) per node
+        set): the number of existing subjects in a set is γ𝒮(subject) and
+        every such subject observes the same target count — γ𝒮(c_tag),
+        minus its own contribution when the subject expression implies the
+        target expression.
+        """
+        relevant = [
+            tc for tc in constraint.tag_constraints if tc.c_tag.tags <= new_tags
+        ]
+        if not relevant:
+            return 0.0
+        total = 0.0
+        for set_index in self.group_sets_for_node(constraint.node_group, node_id):
+            n_subjects = self.gamma(
+                constraint.node_group, set_index, constraint.subject.tags
+            )
+            if n_subjects == 0:
+                continue
+            for tc in relevant:
+                gamma_all = self.gamma(
+                    constraint.node_group, set_index, tc.c_tag.tags
+                )
+                # A subject container's tags are a superset of the subject
+                # expression; if the target conjunction is contained in the
+                # subject expression, every subject also counts toward the
+                # target and must exclude itself.
+                if tc.c_tag.tags <= constraint.subject.tags:
+                    gamma = max(0, gamma_all - 1)
+                else:
+                    gamma = gamma_all
+                delta = tc.violation_extent(gamma + 1) - tc.violation_extent(gamma)
+                if delta > 0:
+                    total += n_subjects * delta
+        return total
+
+    # -- cluster-wide metrics ---------------------------------------------------
+
+    def fragmented_node_fraction(self, threshold: Resource = Resource(2048, 1)) -> float:
+        """Fraction of nodes with less free than ``threshold`` but not fully
+        utilised (paper §7.4's fragmentation definition)."""
+        nodes = [n for n in self.topology if n.available]
+        if not nodes:
+            return 0.0
+        fragmented = sum(1 for n in nodes if n.is_fragmented(threshold))
+        return fragmented / len(nodes)
+
+    def memory_utilization_cv(self) -> float:
+        """Coefficient of variation of per-node memory utilisation — the
+        paper's load-imbalance proxy (Fig. 10b)."""
+        utils = [n.memory_utilization() for n in self.topology if n.available]
+        if not utils:
+            return 0.0
+        mean = sum(utils) / len(utils)
+        if mean == 0:
+            return 0.0
+        variance = sum((u - mean) ** 2 for u in utils) / len(utils)
+        return (variance ** 0.5) / mean
+
+    def cluster_memory_utilization(self) -> float:
+        total = self.topology.total_capacity()
+        if total.memory_mb == 0:
+            return 0.0
+        used = total.memory_mb - sum(
+            n.free.memory_mb for n in self.topology if n.available
+        )
+        return used / total.memory_mb

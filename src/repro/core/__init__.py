@@ -1,0 +1,79 @@
+"""Medea's core contribution: constraints, constraint manager, schedulers."""
+
+from __future__ import annotations
+
+from .capabilities import TABLE_1, SchedulerCapabilities, Support, render_table1
+from .constraint_manager import ConstraintManager, ConstraintValidationError
+from .dsl import ConstraintSyntaxError, format_constraint, parse_constraint
+from .constraints import (
+    NODE_SCOPE,
+    RACK_SCOPE,
+    UNBOUNDED,
+    CompoundConstraint,
+    PlacementConstraint,
+    TagConstraint,
+    TagExpression,
+    affinity,
+    anti_affinity,
+    cardinality,
+)
+from .heuristics import (
+    ConstraintUnawareScheduler,
+    NodeCandidatesScheduler,
+    SerialScheduler,
+    TagPopularityScheduler,
+)
+from .ilp import GroundedViolation, IlpFormulation, IlpWeights
+from .ilp_scheduler import IlpScheduler
+from .jkube import JKubePlusPlusScheduler, JKubeScheduler
+from .medea import LraOutcome, MedeaScheduler
+from .migration import Migration, MigrationPlan, MigrationPlanner
+from .requests import ContainerRequest, LRARequest, TaskRequest, next_app_id
+from .scheduler import ContainerPlacement, LRAScheduler, PlacementResult
+from ..tags import TagMultiset, app_id_tag
+
+__all__ = [
+    "NODE_SCOPE",
+    "RACK_SCOPE",
+    "UNBOUNDED",
+    "TABLE_1",
+    "SchedulerCapabilities",
+    "Support",
+    "render_table1",
+    "ConstraintManager",
+    "ConstraintSyntaxError",
+    "format_constraint",
+    "parse_constraint",
+    "ConstraintValidationError",
+    "CompoundConstraint",
+    "PlacementConstraint",
+    "TagConstraint",
+    "TagExpression",
+    "affinity",
+    "anti_affinity",
+    "cardinality",
+    "ConstraintUnawareScheduler",
+    "NodeCandidatesScheduler",
+    "SerialScheduler",
+    "TagPopularityScheduler",
+    "GroundedViolation",
+    "IlpFormulation",
+    "IlpWeights",
+    "IlpScheduler",
+    "JKubePlusPlusScheduler",
+    "JKubeScheduler",
+    "LraOutcome",
+    "MedeaScheduler",
+    "Migration",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "ContainerRequest",
+    "LRARequest",
+    "TaskRequest",
+    "next_app_id",
+    "ContainerPlacement",
+    "LRAScheduler",
+    "PlacementResult",
+    "TagMultiset",
+    "app_id_tag",
+]

@@ -1,0 +1,105 @@
+"""Scheduler capability matrix (paper Table 1).
+
+Encodes, for each system the paper surveys, its support for requirements
+R1–R4: expressive constraints between containers (affinity / anti-affinity /
+cardinality, intra / inter), high-level constraints, global objectives, and
+low-latency container allocation.
+
+For the systems implemented in this repository (Medea, J-Kube, J-Kube++,
+YARN baseline) the entries are also *checked against behaviour* in
+``tests/test_capabilities.py`` — e.g. J-Kube's row says "no cardinality" and
+the test verifies the J-Kube scheduler indeed ignores cardinality bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Support", "SchedulerCapabilities", "TABLE_1", "render_table1"]
+
+
+class Support(enum.Enum):
+    """Table 1 legend."""
+
+    FULL = "✓"
+    #: Implicit support via static machine attributes, not explicit
+    #: dependencies between containers.
+    IMPLICIT = "✧"
+    PARTIAL = "✽"
+    NONE = "–"
+
+
+@dataclass(frozen=True)
+class SchedulerCapabilities:
+    system: str
+    affinity: Support
+    anti_affinity: Support
+    cardinality: Support
+    intra: Support
+    inter: Support
+    high_level: Support
+    global_objectives: Support
+    low_latency: Support
+
+    def row(self) -> list[str]:
+        return [
+            self.system,
+            self.affinity.value,
+            self.anti_affinity.value,
+            self.cardinality.value,
+            self.intra.value,
+            self.inter.value,
+            self.high_level.value,
+            self.global_objectives.value,
+            self.low_latency.value,
+        ]
+
+
+_F, _I, _P, _N = Support.FULL, Support.IMPLICIT, Support.PARTIAL, Support.NONE
+
+#: Table 1, row for row.
+TABLE_1: tuple[SchedulerCapabilities, ...] = (
+    SchedulerCapabilities("YARN", _I, _N, _N, _I, _N, _N, _N, _F),
+    SchedulerCapabilities("Slider", _I, _I, _N, _I, _N, _N, _N, _N),
+    SchedulerCapabilities("Borg", _I, _I, _N, _I, _I, _N, _P, _F),
+    SchedulerCapabilities("Kubernetes", _F, _F, _N, _F, _F, _F, _P, _F),
+    SchedulerCapabilities("Mesos", _I, _N, _N, _I, _N, _N, _N, _N),
+    SchedulerCapabilities("Marathon", _F, _F, _F, _F, _N, _N, _N, _N),
+    SchedulerCapabilities("Aurora", _I, _F, _F, _F, _N, _N, _N, _N),
+    SchedulerCapabilities("TetriSched", _I, _I, _I, _F, _N, _N, _P, _F),
+    SchedulerCapabilities("Medea", _F, _F, _F, _F, _F, _F, _F, _F),
+)
+
+_HEADERS = [
+    "System",
+    "affinity",
+    "anti-affinity",
+    "cardinality",
+    "intra",
+    "inter",
+    "high-level",
+    "global obj.",
+    "low-latency",
+]
+
+
+def render_table1() -> str:
+    """ASCII rendering of Table 1 for the benchmark harness."""
+    rows = [_HEADERS] + [caps.row() for caps in TABLE_1]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(_HEADERS))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def capabilities_of(system: str) -> SchedulerCapabilities:
+    for caps in TABLE_1:
+        if caps.system.lower() == system.lower():
+            return caps
+    raise KeyError(f"no Table 1 entry for {system!r}")

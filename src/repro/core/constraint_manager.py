@@ -1,0 +1,157 @@
+"""Constraint manager (paper §3, §6).
+
+The central component where all constraints live — those submitted by
+application owners alongside their LRAs and the cluster-wide ones installed
+by operators.  It gives the LRA scheduler a global view of every *active*
+constraint, supports add/remove as applications come and go, validates
+constraints against the cluster's registered node groups, and implements the
+paper's conflict-resolution rule: *operator constraints override application
+constraints when more restrictive* (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..cluster.topology import ClusterTopology
+from .constraints import CompoundConstraint, PlacementConstraint
+from .requests import LRARequest
+
+__all__ = ["ConstraintManager", "ConstraintValidationError"]
+
+
+class ConstraintValidationError(ValueError):
+    """Raised when a submitted constraint references an unknown node group."""
+
+
+class ConstraintManager:
+    """Registry of active placement constraints, keyed by owning application
+    (or the pseudo-owner ``"operator"`` for cluster-wide constraints)."""
+
+    OPERATOR = "operator"
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        self._topology = topology
+        self._simple: dict[str, list[PlacementConstraint]] = {}
+        self._compound: dict[str, list[CompoundConstraint]] = {}
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self, constraint: PlacementConstraint) -> None:
+        if not self._topology.has_group(constraint.node_group):
+            raise ConstraintValidationError(
+                f"constraint {constraint!r} references unregistered node group "
+                f"{constraint.node_group!r} (known: {self._topology.group_names()})"
+            )
+
+    def _validate_all(
+        self,
+        constraints: Iterable[PlacementConstraint],
+        compound: Iterable[CompoundConstraint],
+    ) -> None:
+        for constraint in constraints:
+            self.validate(constraint)
+        for comp in compound:
+            for constraint in comp.all_constraints():
+                self.validate(constraint)
+
+    # -- registration -------------------------------------------------------
+
+    def register_application(self, request: LRARequest) -> None:
+        """Validate and store an LRA's constraints (step 2 of the LRA
+        life-cycle, Fig. 6)."""
+        self._validate_all(request.constraints, request.compound_constraints)
+        self._simple[request.app_id] = list(request.constraints)
+        self._compound[request.app_id] = list(request.compound_constraints)
+
+    def register_operator_constraint(self, constraint: PlacementConstraint) -> None:
+        self.validate(constraint)
+        if constraint.origin != "operator":
+            raise ValueError("operator constraints must carry origin='operator'")
+        self._simple.setdefault(self.OPERATOR, []).append(constraint)
+
+    def unregister_application(self, app_id: str) -> None:
+        """Drop an application's constraints when it finishes (tags leave the
+        node tag sets via container release; constraints leave here)."""
+        self._simple.pop(app_id, None)
+        self._compound.pop(app_id, None)
+
+    # -- queries --------------------------------------------------------------
+
+    def constraints_of(self, app_id: str) -> list[PlacementConstraint]:
+        return list(self._simple.get(app_id, []))
+
+    def compound_of(self, app_id: str) -> list[CompoundConstraint]:
+        return list(self._compound.get(app_id, []))
+
+    def operator_constraints(self) -> list[PlacementConstraint]:
+        return list(self._simple.get(self.OPERATOR, []))
+
+    def active_constraints(self) -> list[PlacementConstraint]:
+        """All simple constraints currently in force, across every registered
+        application and the operator, with operator conflict-overrides
+        applied (see :meth:`effective_constraints`)."""
+        out: list[PlacementConstraint] = []
+        for constraints in self._simple.values():
+            out.extend(constraints)
+        return self._apply_operator_overrides(out)
+
+    def active_compound_constraints(self) -> list[CompoundConstraint]:
+        out: list[CompoundConstraint] = []
+        for compounds in self._compound.values():
+            out.extend(compounds)
+        return out
+
+    def registered_apps(self) -> list[str]:
+        apps = set(self._simple) | set(self._compound)
+        apps.discard(self.OPERATOR)
+        return sorted(apps)
+
+    def __iter__(self) -> Iterator[PlacementConstraint]:
+        return iter(self.active_constraints())
+
+    # -- conflict resolution ---------------------------------------------------
+
+    def _apply_operator_overrides(
+        self, constraints: list[PlacementConstraint]
+    ) -> list[PlacementConstraint]:
+        """Apply the §5.2 rule: an operator constraint overrides application
+        constraints on the same (subject, target, group) triple when it is
+        *more restrictive* (narrower cardinality interval).
+
+        Constraints that do not clash are all kept; the ILP then minimises
+        violations among whatever remains.
+        """
+        operator = [c for c in constraints if c.origin == self.OPERATOR]
+        if not operator:
+            return constraints
+        result: list[PlacementConstraint] = []
+        for constraint in constraints:
+            if constraint.origin == self.OPERATOR:
+                result.append(constraint)
+                continue
+            overridden = False
+            for op in operator:
+                if self._overrides(op, constraint):
+                    overridden = True
+                    break
+            if not overridden:
+                result.append(constraint)
+        return result
+
+    @staticmethod
+    def _overrides(op: PlacementConstraint, app: PlacementConstraint) -> bool:
+        """True if operator constraint ``op`` targets the same triple as
+        ``app`` and is at least as restrictive on every tag constraint."""
+        if op.node_group != app.node_group or op.subject != app.subject:
+            return False
+        if len(op.tag_constraints) != len(app.tag_constraints):
+            return False
+        by_tag = {tc.c_tag: tc for tc in op.tag_constraints}
+        for tc in app.tag_constraints:
+            op_tc = by_tag.get(tc.c_tag)
+            if op_tc is None:
+                return False
+            if not (op_tc.cmin >= tc.cmin and op_tc.cmax <= tc.cmax):
+                return False
+        return True

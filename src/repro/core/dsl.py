@@ -1,0 +1,157 @@
+"""Textual constraint syntax — the paper's notation, parseable.
+
+The paper writes constraints as ``C = {subject_tag, {c_tag, cmin, cmax},
+node_group}`` with ``∧`` for tag conjunction and ``∞`` for "no maximum".
+This module parses exactly that notation (with ASCII conveniences: ``&``
+for ``∧``, ``inf``/``*`` for ``∞``), so configuration files and REPL
+sessions can state constraints the way the paper does::
+
+    parse_constraint("{storm, {hb & mem, 1, inf}, node}")
+    parse_constraint("{appID:0023 & storm, {appID:0023 & hb, 1, ∞}, node}")
+    parse_constraint("{spark, {spark, 3, 10}, rack}")
+
+Multiple tag constraints may be conjoined inside the middle braces with
+``and``::
+
+    parse_constraint("{w, {cache, 1, inf} and {noisy, 0, 0}, node}")
+
+:func:`format_constraint` is the inverse; ``parse(format(c)) == c``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .constraints import (
+    UNBOUNDED,
+    PlacementConstraint,
+    TagConstraint,
+    TagExpression,
+)
+
+__all__ = ["parse_constraint", "format_constraint", "ConstraintSyntaxError"]
+
+
+class ConstraintSyntaxError(ValueError):
+    """Raised when a constraint string does not match the paper syntax."""
+
+
+_INF_TOKENS = {"∞", "inf", "infinity", "*"}
+
+
+def _parse_tags(text: str) -> TagExpression:
+    parts = [p.strip() for p in re.split(r"∧|&", text)]
+    if any(not p for p in parts):
+        raise ConstraintSyntaxError(f"empty tag in conjunction: {text!r}")
+    try:
+        return TagExpression(parts)
+    except ValueError as exc:
+        raise ConstraintSyntaxError(str(exc)) from exc
+
+
+def _parse_bound(text: str, *, allow_inf: bool) -> int:
+    token = text.strip().lower()
+    if token in _INF_TOKENS:
+        if not allow_inf:
+            raise ConstraintSyntaxError("cmin cannot be infinite")
+        return UNBOUNDED
+    if not re.fullmatch(r"\d+", token):
+        raise ConstraintSyntaxError(f"invalid cardinality bound {text!r}")
+    return int(token)
+
+
+def _parse_tag_constraint(text: str) -> TagConstraint:
+    inner = text.strip()
+    if not (inner.startswith("{") and inner.endswith("}")):
+        raise ConstraintSyntaxError(f"tag constraint must be braced: {text!r}")
+    fields = _split_top_level(inner[1:-1])
+    if len(fields) != 3:
+        raise ConstraintSyntaxError(
+            f"tag constraint needs exactly (c_tag, cmin, cmax): {text!r}"
+        )
+    c_tag = _parse_tags(fields[0])
+    cmin = _parse_bound(fields[1], allow_inf=False)
+    cmax = _parse_bound(fields[2], allow_inf=True)
+    try:
+        return TagConstraint(c_tag, cmin, cmax)
+    except ValueError as exc:
+        raise ConstraintSyntaxError(str(exc)) from exc
+
+
+def _split_top_level(text: str, separator: str = ",") -> list[str]:
+    """Split on ``separator`` at brace depth zero."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise ConstraintSyntaxError(f"unbalanced braces in {text!r}")
+        if ch == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ConstraintSyntaxError(f"unbalanced braces in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_constraint(
+    text: str,
+    *,
+    weight: float = 1.0,
+    hard: bool = False,
+    origin: str = "application",
+) -> PlacementConstraint:
+    """Parse ``{subject, {c_tag, cmin, cmax}[ and {...}], node_group}``."""
+    stripped = text.strip()
+    # Tolerate a leading "C =" / "Caf =" label as the paper writes it.
+    stripped = re.sub(r"^\w+\s*=\s*", "", stripped)
+    if not (stripped.startswith("{") and stripped.endswith("}")):
+        raise ConstraintSyntaxError(f"constraint must be braced: {text!r}")
+    fields = _split_top_level(stripped[1:-1])
+    if len(fields) < 3:
+        raise ConstraintSyntaxError(
+            f"constraint needs (subject, tag_constraint, node_group): {text!r}"
+        )
+    subject = _parse_tags(fields[0])
+    node_group = fields[-1].strip()
+    if not node_group or "{" in node_group:
+        raise ConstraintSyntaxError(f"invalid node group in {text!r}")
+    middle = ",".join(fields[1:-1]).strip()
+    tag_constraints = tuple(
+        _parse_tag_constraint(part)
+        for part in re.split(r"\band\b", middle)
+    )
+    try:
+        return PlacementConstraint(
+            subject=subject,
+            tag_constraints=tag_constraints,
+            node_group=node_group,
+            weight=weight,
+            hard=hard,
+            origin=origin,
+        )
+    except ValueError as exc:
+        raise ConstraintSyntaxError(str(exc)) from exc
+
+
+def format_constraint(constraint: PlacementConstraint) -> str:
+    """Render a constraint in the paper's notation."""
+
+    def tags(expr: TagExpression) -> str:
+        return " ∧ ".join(sorted(expr.tags))
+
+    def bound(value: int) -> str:
+        return "∞" if value >= UNBOUNDED else str(value)
+
+    tcs = " and ".join(
+        f"{{{tags(tc.c_tag)}, {tc.cmin}, {bound(tc.cmax)}}}"
+        for tc in constraint.tag_constraints
+    )
+    return f"{{{tags(constraint.subject)}, {tcs}, {constraint.node_group}}}"

@@ -1,0 +1,399 @@
+"""Heuristic-based LRA schedulers (paper §5.3) and the YARN baseline.
+
+All heuristics share one greedy loop: order the batch's containers, then for
+each container pick the feasible node with the smallest *additional*
+constraint-violation extent (ties broken toward the node with most free
+memory, which nudges load balance).  They differ only in the ordering:
+
+* **Serial** — no ordering; containers are placed in submission order.
+* **Medea-TP (tag popularity)** — containers whose tags appear in the most
+  constraints go first (they are the hardest to place).
+* **Medea-NC (node candidates)** — the container with the fewest nodes on
+  which it can be placed without violations goes first; Nc values are
+  recalculated lazily, only for containers whose placement opportunities the
+  previous placement may have affected.
+
+:class:`ConstraintUnawareScheduler` reproduces the YARN baseline: it ignores
+placement constraints entirely and picks nodes the way a heartbeat-driven
+capacity scheduler would (effectively arbitrary among nodes with space),
+which is why the paper observes constraints being "randomly satisfied" under
+YARN.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..cluster.state import ClusterState
+from .constraint_manager import ConstraintManager
+from .constraints import PlacementConstraint
+from .requests import ContainerRequest, LRARequest
+from .scheduler import (
+    ContainerPlacement,
+    LRAScheduler,
+    PlacementResult,
+    ScratchPlacements,
+)
+
+__all__ = [
+    "GreedyScheduler",
+    "SerialScheduler",
+    "TagPopularityScheduler",
+    "NodeCandidatesScheduler",
+    "ConstraintUnawareScheduler",
+]
+
+
+def _gather_constraints(
+    requests: Sequence[LRARequest], manager: ConstraintManager
+) -> list[PlacementConstraint]:
+    """Active constraints plus those of the incoming batch, deduplicated.
+
+    Compound (DNF) constraints are approximated by their first conjunct —
+    the greedy algorithms have no machinery to defer disjunct choice, which
+    is exactly the quality gap the ILP exploits.
+    """
+    seen: set[PlacementConstraint] = set()
+    out: list[PlacementConstraint] = []
+
+    def _add(constraint: PlacementConstraint) -> None:
+        if constraint not in seen:
+            seen.add(constraint)
+            out.append(constraint)
+
+    for constraint in manager.active_constraints():
+        _add(constraint)
+    for compound in manager.active_compound_constraints():
+        for constraint in compound.conjuncts[0]:
+            _add(constraint)
+    for request in requests:
+        for constraint in request.constraints:
+            _add(constraint)
+        for compound in request.compound_constraints:
+            for constraint in compound.conjuncts[0]:
+                _add(constraint)
+    return out
+
+
+def relevant_constraints(
+    constraints: Sequence[PlacementConstraint], tags: frozenset[str]
+) -> list[PlacementConstraint]:
+    """Constraints a container with ``tags`` can interact with: those whose
+    subject it matches (forward check) or whose target conjunction it
+    carries (it changes existing subjects' counts).  Everything else is
+    untouched by the placement and can be skipped in scoring loops."""
+    return [
+        c for c in constraints
+        if c.applies_to(tags)
+        or any(tc.c_tag.tags <= tags for tc in c.tag_constraints)
+    ]
+
+
+class GreedyScheduler(LRAScheduler):
+    """Shared greedy placement loop; subclasses choose the container order."""
+
+    name = "greedy"
+
+    def __init__(self) -> None:
+        # tags -> relevant constraint subset, valid for one place() call.
+        self._relevant_cache: dict[frozenset[str], list[PlacementConstraint]] = {}
+
+    def _relevant(
+        self, constraints: Sequence[PlacementConstraint], tags: frozenset[str]
+    ) -> list[PlacementConstraint]:
+        cached = self._relevant_cache.get(tags)
+        if cached is None:
+            cached = relevant_constraints(constraints, tags)
+            self._relevant_cache[tags] = cached
+        return cached
+
+    def place(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        manager: ConstraintManager,
+    ) -> PlacementResult:
+        result = PlacementResult()
+        if not requests:
+            return result
+        self._relevant_cache = {}
+        constraints = _gather_constraints(requests, manager)
+        # (request index, container) work items, in the subclass's order;
+        # select_next allows dynamic re-prioritisation between placements
+        # (Medea-NC refreshes candidate counts after every placement).
+        pending = self.order_containers(requests, constraints, state)
+        failed_apps: set[str] = set()
+        with ScratchPlacements(state) as scratch:
+            while pending:
+                req_index, container = pending.pop(self.select_next(pending))
+                request = requests[req_index]
+                if request.app_id in failed_apps:
+                    continue
+                node_id = self.pick_node(container, constraints, state)
+                if node_id is None:
+                    failed_apps.add(request.app_id)
+                    scratch.unplace_app(request.app_id)
+                    continue
+                scratch.place(container, node_id, request.app_id)
+                self.after_placement(container, node_id)
+            result.placements = list(scratch.placements)
+        result.rejected_apps = sorted(failed_apps)
+        return result
+
+    # -- extension points --------------------------------------------------
+
+    def order_containers(
+        self,
+        requests: Sequence[LRARequest],
+        constraints: Sequence[PlacementConstraint],
+        state: ClusterState,
+    ) -> list[tuple[int, ContainerRequest]]:
+        """Submission order by default (the Serial behaviour)."""
+        return [
+            (i, container)
+            for i, request in enumerate(requests)
+            for container in request.containers
+        ]
+
+    def select_next(self, pending: list[tuple[int, ContainerRequest]]) -> int:
+        """Index of the next work item to place (default: head of the list)."""
+        return 0
+
+    def after_placement(self, container: ContainerRequest, node_id: str) -> None:
+        """Hook for subclasses that maintain incremental state (Medea-NC)."""
+
+    # -- node selection -------------------------------------------------------
+
+    def pick_node(
+        self,
+        container: ContainerRequest,
+        constraints: Sequence[PlacementConstraint],
+        state: ClusterState,
+    ) -> str | None:
+        """Feasible node minimising additional violation extent; ties broken
+        toward the node with the most free memory."""
+        relevant = self._relevant(constraints, container.tags)
+        best_node: str | None = None
+        best_key: tuple[float, float] | None = None
+        for node in state.topology:
+            if not node.can_fit(container.resource):
+                continue
+            delta = state.placement_delta_violations(
+                relevant, node.node_id, container.tags
+            )
+            key = (delta, -node.free.memory_mb)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_node = node.node_id
+        return best_node
+
+
+class SerialScheduler(GreedyScheduler):
+    """Greedy with no request ordering (the paper's *Serial* baseline)."""
+
+    name = "Serial"
+
+
+class TagPopularityScheduler(GreedyScheduler):
+    """Medea-TP: prioritise containers whose tags appear in most constraints."""
+
+    name = "MEDEA-TP"
+
+    def order_containers(
+        self,
+        requests: Sequence[LRARequest],
+        constraints: Sequence[PlacementConstraint],
+        state: ClusterState,
+    ) -> list[tuple[int, ContainerRequest]]:
+        popularity: dict[str, int] = {}
+        for constraint in constraints:
+            for tag in constraint.subject.tags:
+                popularity[tag] = popularity.get(tag, 0) + 1
+            for tc in constraint.tag_constraints:
+                for tag in tc.c_tag.tags:
+                    popularity[tag] = popularity.get(tag, 0) + 1
+
+        def score(container: ContainerRequest) -> int:
+            return sum(popularity.get(tag, 0) for tag in container.tags)
+
+        items = [
+            (i, container)
+            for i, request in enumerate(requests)
+            for container in request.containers
+        ]
+        # Stable sort keeps submission order among equally popular containers.
+        items.sort(key=lambda item: -score(item[1]))
+        return items
+
+
+class NodeCandidatesScheduler(GreedyScheduler):
+    """Medea-NC: place the container with the fewest candidate nodes first.
+
+    ``Nc`` — the number of nodes on which a container can go without adding
+    violations — is computed per container up front as an explicit
+    candidate-node set, then maintained *incrementally*: a placement on
+    node X only changes candidacy on X itself (capacity) and on nodes that
+    share a constrained node set with X (its rack, service unit, ...), so
+    only those entries are re-evaluated — the paper's "recalculating Nc
+    only for containers whose placement opportunities were affected".
+    """
+
+    name = "MEDEA-NC"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: list[tuple[int, ContainerRequest]] = []
+        self._constraints: Sequence[PlacementConstraint] = ()
+        self._state: ClusterState | None = None
+        #: container id -> set of violation-free feasible nodes.
+        self._candidates: dict[str, set[str]] = {}
+
+    def place(self, requests, state, manager):  # type: ignore[override]
+        self._state = state
+        try:
+            return super().place(requests, state, manager)
+        finally:
+            self._state = None
+            self._pending = []
+            self._candidates = {}
+
+    def order_containers(
+        self,
+        requests: Sequence[LRARequest],
+        constraints: Sequence[PlacementConstraint],
+        state: ClusterState,
+    ) -> list[tuple[int, ContainerRequest]]:
+        self._constraints = constraints
+        self._pending = [
+            (i, container)
+            for i, request in enumerate(requests)
+            for container in request.containers
+        ]
+        for _, container in self._pending:
+            self._candidates[container.container_id] = self._compute_candidates(
+                container
+            )
+        return list(self._pending)
+
+    def select_next(self, pending: list[tuple[int, ContainerRequest]]) -> int:
+        best_index = 0
+        best_nc = None
+        for index, (_, container) in enumerate(pending):
+            nc = len(self._candidates.get(container.container_id, ()))
+            if best_nc is None or nc < best_nc:
+                best_nc = nc
+                best_index = index
+        return best_index
+
+    def after_placement(self, container: ContainerRequest, node_id: str) -> None:
+        if self._state is None:
+            return
+        affected = self._affected_nodes(container, node_id)
+        placed_tags = container.tags
+        for _, other in self._pending:
+            if other.container_id == container.container_id:
+                continue
+            candidates = self._candidates.get(other.container_id)
+            if candidates is None:
+                continue
+            relevant = self._relevant(self._constraints, other.tags)
+            tag_related = any(
+                (constraint.applies_to(other.tags)
+                 and any(tc.c_tag.tags & placed_tags for tc in constraint.tag_constraints))
+                or any(tc.c_tag.tags <= other.tags for tc in constraint.tag_constraints)
+                for constraint in relevant
+            )
+            # Capacity on the placed node always needs a re-check; constraint
+            # effects only when the containers' tags interact.
+            nodes_to_check = affected if tag_related else {node_id}
+            for check_node in nodes_to_check:
+                if self._is_candidate(other, check_node, relevant):
+                    candidates.add(check_node)
+                else:
+                    candidates.discard(check_node)
+
+    def _affected_nodes(self, container: ContainerRequest, node_id: str) -> set[str]:
+        """Nodes whose candidacy the placement may have changed: the node
+        itself plus every node sharing a constrained node set with it."""
+        assert self._state is not None
+        affected = {node_id}
+        groups = {
+            c.node_group
+            for c in self._relevant(self._constraints, container.tags)
+        }
+        for group_name in groups:
+            for node_set in self._state.topology.sets_of_group_containing(
+                group_name, node_id
+            ):
+                affected.update(node_set)
+        return affected
+
+    def _is_candidate(
+        self,
+        container: ContainerRequest,
+        node_id: str,
+        relevant: Sequence[PlacementConstraint],
+    ) -> bool:
+        assert self._state is not None
+        node = self._state.topology.node(node_id)
+        if not node.can_fit(container.resource):
+            return False
+        return (
+            self._state.placement_delta_violations(
+                relevant, node_id, container.tags
+            )
+            == 0
+        )
+
+    def _compute_candidates(self, container: ContainerRequest) -> set[str]:
+        assert self._state is not None
+        relevant = self._relevant(self._constraints, container.tags)
+        return {
+            node.node_id
+            for node in self._state.topology
+            if self._is_candidate(container, node.node_id, relevant)
+        }
+
+
+class ConstraintUnawareScheduler(LRAScheduler):
+    """The YARN baseline: capacity-aware, constraint-blind placement.
+
+    Nodes are chosen pseudo-randomly among those with room, emulating the
+    arbitrariness of heartbeat-driven allocation; the seed makes experiments
+    reproducible.
+    """
+
+    name = "YARN"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def place(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        manager: ConstraintManager,
+    ) -> PlacementResult:
+        result = PlacementResult()
+        failed: set[str] = set()
+        with ScratchPlacements(state) as scratch:
+            for request in requests:
+                for container in request.containers:
+                    if request.app_id in failed:
+                        break
+                    candidates = [
+                        node.node_id
+                        for node in state.topology
+                        if node.can_fit(container.resource)
+                    ]
+                    if not candidates:
+                        failed.add(request.app_id)
+                        scratch.unplace_app(request.app_id)
+                        break
+                    scratch.place(
+                        container, self._rng.choice(candidates), request.app_id
+                    )
+            result.placements = list(scratch.placements)
+        result.rejected_apps = sorted(failed)
+        return result

@@ -1,0 +1,194 @@
+"""The Medea two-scheduler facade (paper §3, Fig. 4).
+
+Ties together the four design components: the LRA interface (submission
+routing), the dedicated LRA scheduler invoked at a configurable interval,
+the constraint manager, and the task-based scheduler that performs every
+actual allocation.
+
+Flow per scheduling cycle (Fig. 4 steps 1–3):
+
+1. the LRA scheduler computes placements for the LRAs submitted during the
+   last interval, reading the live cluster state and the constraint manager;
+2. placements are handed, per application, to the task-based scheduler;
+3. the task-based scheduler performs the allocation.  If the state changed
+   in between (task containers grabbed the resources) the allocation raises
+   a conflict and Medea *resubmits the LRA* — the paper's chosen conflict
+   policy (§5.4).
+
+The ``ilp_all`` mode removes the two-scheduler split: task requests are
+wrapped as single-container LRAs and pushed through the LRA scheduler,
+reproducing the ILP-ALL baseline of Fig. 11b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..cluster.resources import Resource
+from ..cluster.state import ClusterState
+from ..taskscheduler.base import PlacementConflictError, TaskBasedScheduler
+from .constraint_manager import ConstraintManager
+from .requests import ContainerRequest, LRARequest, TaskRequest
+from .scheduler import LRAScheduler, PlacementResult
+
+__all__ = ["MedeaScheduler", "LraOutcome"]
+
+
+@dataclass
+class LraOutcome:
+    """Fate of one submitted LRA."""
+
+    app_id: str
+    submit_time: float
+    placed_time: float | None = None
+    attempts: int = 0
+    dropped: bool = False
+
+    @property
+    def scheduling_latency_s(self) -> float | None:
+        if self.placed_time is None:
+            return None
+        return self.placed_time - self.submit_time
+
+
+class MedeaScheduler:
+    """Orchestrates the LRA scheduler and the task-based scheduler."""
+
+    def __init__(
+        self,
+        state: ClusterState,
+        lra_scheduler: LRAScheduler,
+        task_scheduler: TaskBasedScheduler,
+        *,
+        scheduling_interval_s: float = 10.0,
+        max_attempts: int = 3,
+        ilp_all: bool = False,
+        max_batch_size: int | None = None,
+    ) -> None:
+        if task_scheduler.state is not state:
+            raise ValueError("task scheduler must share the Medea cluster state")
+        self.state = state
+        self.lra_scheduler = lra_scheduler
+        self.task_scheduler = task_scheduler
+        self.manager = ConstraintManager(state.topology)
+        self.scheduling_interval_s = scheduling_interval_s
+        self.max_attempts = max_attempts
+        self.ilp_all = ilp_all
+        #: Optional cap on LRAs considered per cycle (the paper's
+        #: "periodicity" — how many applications one scheduling interval
+        #: accumulates).  ``None`` takes everything pending.
+        self.max_batch_size = max_batch_size
+        self._pending: list[LRARequest] = []
+        self.outcomes: dict[str, LraOutcome] = {}
+        #: Wall-clock solve time of each LRA scheduling cycle.
+        self.cycle_solve_times: list[float] = []
+        self._last_cycle_time: float = 0.0
+
+    # -- submission routing (the LRA interface, §3) -----------------------------
+
+    def submit_lra(self, request: LRARequest, now: float = 0.0) -> None:
+        """Queue an LRA for the next scheduling cycle and register its
+        constraints with the constraint manager."""
+        self.manager.register_application(request)
+        self._pending.append(request)
+        self.outcomes.setdefault(request.app_id, LraOutcome(request.app_id, now))
+
+    def submit_task(self, task: TaskRequest, now: float = 0.0) -> None:
+        """Route a plain task request.
+
+        Normally it goes straight to the task-based scheduler; under
+        ``ilp_all`` it is wrapped as a constraint-free single-container LRA
+        and waits for the optimisation cycle like everything else.
+        """
+        if not self.ilp_all:
+            self.task_scheduler.submit(task, now)
+            return
+        wrapped = LRARequest(
+            app_id=f"task-wrap-{task.task_id}",
+            containers=[
+                ContainerRequest(
+                    container_id=task.task_id,
+                    resource=task.resource,
+                    tags=frozenset({"task"}),
+                )
+            ],
+        )
+        self.submit_lra(wrapped, now)
+
+    def pending_lras(self) -> int:
+        return len(self._pending)
+
+    # -- the scheduling cycle -----------------------------------------------------
+
+    def run_cycle(self, now: float = 0.0) -> PlacementResult:
+        """Invoke the LRA scheduler on everything queued since the last
+        cycle, then allocate through the task-based scheduler."""
+        self._last_cycle_time = now
+        if not self._pending:
+            return PlacementResult()
+        if self.max_batch_size is None:
+            batch, self._pending = self._pending, []
+        else:
+            batch = self._pending[: self.max_batch_size]
+            self._pending = self._pending[self.max_batch_size:]
+        result = self.lra_scheduler.timed_place(batch, self.state, self.manager)
+        self.cycle_solve_times.append(result.solve_time_s)
+
+        by_app: dict[str, list] = {}
+        for placement in result.placements:
+            by_app.setdefault(placement.app_id, []).append(placement)
+
+        requests_by_id = {r.app_id: r for r in batch}
+        for app_id, placements in by_app.items():
+            outcome = self.outcomes[app_id]
+            outcome.attempts += 1
+            try:
+                self.task_scheduler.apply_lra_placements(placements)
+            except PlacementConflictError:
+                self._resubmit(requests_by_id[app_id], outcome)
+            else:
+                outcome.placed_time = now
+
+        for app_id in result.rejected_apps:
+            outcome = self.outcomes[app_id]
+            outcome.attempts += 1
+            self._resubmit(requests_by_id[app_id], outcome)
+        return result
+
+    def _resubmit(self, request: LRARequest, outcome: LraOutcome) -> None:
+        if outcome.attempts >= self.max_attempts:
+            outcome.dropped = True
+            self.manager.unregister_application(request.app_id)
+            return
+        self._pending.append(request)
+
+    # -- LRA teardown -----------------------------------------------------------
+
+    def complete_lra(self, app_id: str) -> None:
+        """Release an LRA's containers and drop its constraints."""
+        self.state.release_application(app_id)
+        self.manager.unregister_application(app_id)
+
+    # -- heartbeats --------------------------------------------------------------
+
+    def heartbeat(self, node_id: str, now: float):
+        """Forward a node heartbeat to the task-based scheduler (task
+        containers are allocated here, never in the LRA path)."""
+        return self.task_scheduler.handle_heartbeat(node_id, now)
+
+    def heartbeat_all(self, now: float):
+        allocations = []
+        for node in self.state.topology:
+            if node.available:
+                allocations.extend(self.heartbeat(node.node_id, now))
+        return allocations
+
+    # -- introspection ---------------------------------------------------------------
+
+    def placed_lra_latencies(self) -> list[float]:
+        return [
+            outcome.scheduling_latency_s
+            for outcome in self.outcomes.values()
+            if outcome.scheduling_latency_s is not None
+        ]

@@ -1,0 +1,155 @@
+"""LRA scheduler interface and shared result types.
+
+Every LRA placement algorithm in this repo — Medea-ILP, the Medea-NC /
+Medea-TP / Serial heuristics, J-Kube and J-Kube++ — implements
+:class:`LRAScheduler`.  A scheduler *proposes* placements; it never performs
+the actual allocation (that is the task-based scheduler's job, step 2→3 in
+Fig. 4).  To let greedy algorithms see their own in-flight decisions, the
+:class:`ScratchPlacements` helper tentatively applies placements to the live
+cluster state and rolls every one of them back on exit.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..cluster.resources import Resource
+from ..cluster.state import ClusterState
+from .constraint_manager import ConstraintManager
+from .requests import ContainerRequest, LRARequest
+
+__all__ = [
+    "ContainerPlacement",
+    "PlacementResult",
+    "LRAScheduler",
+    "ScratchPlacements",
+]
+
+
+@dataclass(frozen=True)
+class ContainerPlacement:
+    """A proposed (container → node) decision."""
+
+    app_id: str
+    container_id: str
+    node_id: str
+    resource: Resource
+    tags: frozenset[str]
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of one scheduler invocation over a batch of LRAs."""
+
+    placements: list[ContainerPlacement] = field(default_factory=list)
+    #: Applications that could not be fully placed this round (all-or-nothing
+    #: semantics: none of their containers appear in ``placements``).
+    rejected_apps: list[str] = field(default_factory=list)
+    solve_time_s: float = 0.0
+    #: Scheduler-reported objective value, if the algorithm computes one.
+    objective: float | None = None
+
+    def placed_apps(self) -> set[str]:
+        return {p.app_id for p in self.placements}
+
+    def placements_of(self, app_id: str) -> list[ContainerPlacement]:
+        return [p for p in self.placements if p.app_id == app_id]
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+
+class LRAScheduler(abc.ABC):
+    """Base class for LRA placement algorithms."""
+
+    #: Human-readable algorithm name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def place(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        manager: ConstraintManager,
+    ) -> PlacementResult:
+        """Compute placements for a batch of newly submitted LRAs.
+
+        Implementations must not leave any tentative allocation behind in
+        ``state``; the returned placements are applied later by the
+        task-based scheduler.
+        """
+
+    def timed_place(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        manager: ConstraintManager,
+    ) -> PlacementResult:
+        """:meth:`place` wrapped with wall-clock measurement."""
+        start = time.perf_counter()
+        result = self.place(requests, state, manager)
+        result.solve_time_s = time.perf_counter() - start
+        return result
+
+
+class ScratchPlacements:
+    """Tentative allocations on the live state, rolled back on exit.
+
+    Greedy schedulers place containers one at a time and need each decision
+    to be visible to the next (tag cardinalities, free resources).  Rather
+    than duplicating the cluster's incremental tag bookkeeping in an overlay,
+    they apply decisions directly to the state under this guard::
+
+        with ScratchPlacements(state) as scratch:
+            scratch.place(request_container, node_id, app_id)
+            ...
+        # state is pristine again here
+
+    ``commit=False`` is unconditional: even on success the allocations are
+    rolled back, and the caller re-derives the proposal list from
+    :attr:`placements`.
+    """
+
+    def __init__(self, state: ClusterState) -> None:
+        self._state = state
+        self.placements: list[ContainerPlacement] = []
+
+    def __enter__(self) -> "ScratchPlacements":
+        return self
+
+    def place(self, container: ContainerRequest, node_id: str, app_id: str) -> None:
+        self._state.allocate(
+            container.container_id,
+            node_id,
+            container.resource,
+            container.tags,
+            app_id,
+            long_running=True,
+        )
+        self.placements.append(
+            ContainerPlacement(
+                app_id=app_id,
+                container_id=container.container_id,
+                node_id=node_id,
+                resource=container.resource,
+                tags=container.tags,
+            )
+        )
+
+    def unplace_app(self, app_id: str) -> None:
+        """Roll back every tentative placement of one application (used when
+        all-or-nothing placement fails midway)."""
+        keep = []
+        for placement in self.placements:
+            if placement.app_id == app_id:
+                self._state.release(placement.container_id)
+            else:
+                keep.append(placement)
+        self.placements = keep
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for placement in self.placements:
+            self._state.release(placement.container_id)

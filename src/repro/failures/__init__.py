@@ -1,0 +1,15 @@
+"""Machine-unavailability traces and placement replay (resilience study)."""
+
+from __future__ import annotations
+
+from .replay import max_unavailability_series, replay_trace, su_distribution
+from .sutrace import TraceConfig, UnavailabilityTrace, generate_trace
+
+__all__ = [
+    "max_unavailability_series",
+    "replay_trace",
+    "su_distribution",
+    "TraceConfig",
+    "UnavailabilityTrace",
+    "generate_trace",
+]

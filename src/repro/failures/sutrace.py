@@ -1,0 +1,117 @@
+"""Service-unit unavailability trace generator (Fig. 3 substitute).
+
+The paper plots machine unavailability in a Microsoft cluster over days:
+per-service-unit unavailability is usually below 3% but spikes to 25% or
+even 100%, unavailability is strongly correlated *within* a service unit,
+and service units fail *asynchronously*.  Those three observations are the
+invariants of this generator: each service unit follows an independent
+three-state Markov chain (healthy / degraded / down) sampled hourly, and
+all machines of a unit share the unit's hourly unavailability fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["TraceConfig", "UnavailabilityTrace", "generate_trace"]
+
+_HEALTHY, _DEGRADED, _DOWN = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Markov-chain parameters (per-hour transition probabilities)."""
+
+    p_healthy_to_degraded: float = 0.02
+    p_healthy_to_down: float = 0.003
+    p_degraded_to_healthy: float = 0.30
+    p_degraded_to_down: float = 0.05
+    p_down_to_healthy: float = 0.50
+    #: Unavailability fraction ranges per state.
+    healthy_range: tuple[float, float] = (0.0, 0.03)
+    degraded_range: tuple[float, float] = (0.05, 0.30)
+    down_range: tuple[float, float] = (0.60, 1.00)
+
+
+@dataclass
+class UnavailabilityTrace:
+    """Hourly unavailability fractions, one row per hour, one column per
+    service unit."""
+
+    service_units: int
+    hours: int
+    #: fractions[hour][su] in [0, 1].
+    fractions: list[list[float]]
+    #: Machines per service unit (for weighting the cluster-wide total).
+    unit_sizes: list[int] = field(default_factory=list)
+
+    def fraction(self, hour: int, su: int) -> float:
+        return self.fractions[hour][su]
+
+    def total(self, hour: int) -> float:
+        """Cluster-wide unavailable-machine fraction at ``hour``."""
+        sizes = self.unit_sizes or [1] * self.service_units
+        weight = sum(sizes)
+        return sum(
+            self.fractions[hour][su] * sizes[su] for su in range(self.service_units)
+        ) / weight
+
+    def series_for_unit(self, su: int) -> list[float]:
+        return [self.fractions[h][su] for h in range(self.hours)]
+
+    def total_series(self) -> list[float]:
+        return [self.total(h) for h in range(self.hours)]
+
+
+def generate_trace(
+    service_units: int = 25,
+    hours: int = 15 * 24,
+    *,
+    seed: int = 0,
+    config: TraceConfig = TraceConfig(),
+    unit_sizes: Sequence[int] | None = None,
+) -> UnavailabilityTrace:
+    """Generate an hourly unavailability trace for ``service_units`` units."""
+    if service_units < 1 or hours < 1:
+        raise ValueError("need at least one service unit and one hour")
+    rng = random.Random(seed)
+    states = [_HEALTHY] * service_units
+    fractions: list[list[float]] = []
+    ranges = {
+        _HEALTHY: config.healthy_range,
+        _DEGRADED: config.degraded_range,
+        _DOWN: config.down_range,
+    }
+    for _hour in range(hours):
+        row: list[float] = []
+        for su in range(service_units):
+            states[su] = _step(states[su], rng, config)
+            low, high = ranges[states[su]]
+            row.append(rng.uniform(low, high))
+        fractions.append(row)
+    sizes = list(unit_sizes) if unit_sizes is not None else [1] * service_units
+    if len(sizes) != service_units:
+        raise ValueError("unit_sizes length must equal service_units")
+    return UnavailabilityTrace(service_units, hours, fractions, sizes)
+
+
+def _step(state: int, rng: random.Random, config: TraceConfig) -> int:
+    roll = rng.random()
+    if state == _HEALTHY:
+        if roll < config.p_healthy_to_down:
+            return _DOWN
+        if roll < config.p_healthy_to_down + config.p_healthy_to_degraded:
+            return _DEGRADED
+        return _HEALTHY
+    if state == _DEGRADED:
+        if roll < config.p_degraded_to_down:
+            return _DOWN
+        if roll < config.p_degraded_to_down + config.p_degraded_to_healthy:
+            return _HEALTHY
+        return _DEGRADED
+    # down
+    if roll < config.p_down_to_healthy:
+        return _HEALTHY
+    return _DOWN

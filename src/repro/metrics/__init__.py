@@ -1,0 +1,15 @@
+"""Evaluation metrics: violations, fragmentation, load balance, latency stats."""
+
+from __future__ import annotations
+
+from .stats import BoxStats, cdf_points, coefficient_of_variation, percentile
+from .violations import ViolationReport, evaluate_violations
+
+__all__ = [
+    "BoxStats",
+    "cdf_points",
+    "coefficient_of_variation",
+    "percentile",
+    "ViolationReport",
+    "evaluate_violations",
+]

@@ -1,0 +1,88 @@
+"""Statistical summaries used across benchmarks (box-plot percentiles, CDFs).
+
+The paper reports box plots with whiskers at p5/p99, boxes at p25/p75 and a
+median line (Fig. 7 caption); :class:`BoxStats` mirrors exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["BoxStats", "percentile", "cdf_points", "coefficient_of_variation"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    value = ordered[low] * (1 - frac) + ordered[high] * frac
+    # Clamp away float rounding: interpolation must stay inside the bracket.
+    return min(max(value, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """p5 / p25 / median / p75 / p99 summary (the paper's box-plot shape)."""
+
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p99: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "BoxStats":
+        data = list(values)
+        if not data:
+            raise ValueError("BoxStats of empty data")
+        return cls(
+            p5=percentile(data, 5),
+            p25=percentile(data, 25),
+            median=percentile(data, 50),
+            p75=percentile(data, 75),
+            p99=percentile(data, 99),
+            mean=sum(data) / len(data),
+            count=len(data),
+        )
+
+    def row(self, label: str, unit: str = "") -> str:
+        return (
+            f"{label:<12} p5={self.p5:8.1f}  p25={self.p25:8.1f}  "
+            f"median={self.median:8.1f}  p75={self.p75:8.1f}  "
+            f"p99={self.p99:8.1f} {unit}"
+        )
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) points."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population CV = stddev / mean (0 when the mean is 0)."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean

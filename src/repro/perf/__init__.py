@@ -1,0 +1,32 @@
+"""Placement → performance model (substitute for real workload execution)."""
+
+from __future__ import annotations
+
+from .features import PlacementFeatures, extract_features
+from .interference import (
+    ITERATIVE_PARAMS,
+    SERVING_PARAMS,
+    PerfParams,
+    iterative_runtime,
+    serving_runtime,
+    serving_throughput,
+    tail_latency_factor,
+    worker_slowdowns,
+)
+from .latency import LatencyModel, lookup_distance_classes, sample_lookup_latencies
+
+__all__ = [
+    "PlacementFeatures",
+    "extract_features",
+    "ITERATIVE_PARAMS",
+    "SERVING_PARAMS",
+    "PerfParams",
+    "iterative_runtime",
+    "serving_runtime",
+    "serving_throughput",
+    "tail_latency_factor",
+    "worker_slowdowns",
+    "LatencyModel",
+    "lookup_distance_classes",
+    "sample_lookup_latencies",
+]

@@ -1,0 +1,72 @@
+"""ASCII table / series renderers shared by the benchmark harness.
+
+Every benchmark prints the rows or series the corresponding paper artefact
+reports, through these helpers, so output stays uniform and grep-able.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_cdf_summary", "banner"]
+
+
+def banner(title: str) -> str:
+    line = "=" * max(60, len(title) + 4)
+    return f"\n{line}\n  {title}\n{line}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    text_rows = [list(headers)]
+    for row in rows:
+        text_rows.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(text_rows[r][c]) for r in range(len(text_rows)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(text_rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render one x-axis and several named series as columns (one figure
+    line per column)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [s[i] for s in series.values()])
+    return render_table(headers, rows, float_format=float_format)
+
+
+def render_cdf_summary(
+    name: str, values: Sequence[float], *, unit: str = ""
+) -> str:
+    """Percentile summary of a distribution (compact CDF stand-in)."""
+    from .metrics.stats import percentile
+
+    if not values:
+        return f"{name}: (empty)"
+    points = [5, 25, 50, 75, 95, 99, 100]
+    parts = ", ".join(f"p{p}={percentile(values, p):.2f}{unit}" for p in points)
+    return f"{name}: {parts}"

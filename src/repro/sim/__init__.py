@@ -1,0 +1,8 @@
+"""Discrete-event cluster simulation."""
+
+from __future__ import annotations
+
+from .cluster_sim import ClusterSimulation, SimConfig
+from .engine import SimulationEngine
+
+__all__ = ["ClusterSimulation", "SimConfig", "SimulationEngine"]

@@ -1,0 +1,150 @@
+"""Cluster simulation: Medea running against simulated machines.
+
+Wires the discrete-event engine to the Medea facade: periodic node
+heartbeats drive the task-based scheduler, periodic scheduling cycles drive
+the LRA scheduler, task containers complete after their duration, and LRAs
+optionally tear down.  Machine unavailability traces can be replayed to take
+nodes down and up (used by the resilience experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..cluster.state import ClusterState
+from ..cluster.topology import ClusterTopology
+from ..core.medea import MedeaScheduler
+from ..core.requests import LRARequest, TaskRequest
+from ..core.scheduler import LRAScheduler
+from ..taskscheduler.base import TaskBasedScheduler
+from ..taskscheduler.capacity import CapacityScheduler
+from .engine import SimulationEngine
+
+__all__ = ["ClusterSimulation", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Timing knobs for a simulation run."""
+
+    scheduling_interval_s: float = 10.0
+    heartbeat_interval_s: float = 1.0
+    #: Hard stop for periodic activity; ``run()`` may stop earlier.
+    horizon_s: float = 3600.0
+
+
+class ClusterSimulation:
+    """One simulated cluster with a Medea scheduler on top."""
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        lra_scheduler: LRAScheduler,
+        *,
+        task_scheduler: TaskBasedScheduler | None = None,
+        config: SimConfig | None = None,
+        ilp_all: bool = False,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.state = ClusterState(topology)
+        self.task_scheduler = task_scheduler or CapacityScheduler(self.state)
+        if self.task_scheduler.state is not self.state:
+            raise ValueError("task scheduler must be built on the simulation state")
+        self.medea = MedeaScheduler(
+            self.state,
+            lra_scheduler,
+            self.task_scheduler,
+            scheduling_interval_s=self.config.scheduling_interval_s,
+            ilp_all=ilp_all,
+        )
+        self.engine = SimulationEngine()
+        self._task_durations: dict[str, float] = {}
+        self._lra_durations: dict[str, float] = {}
+        #: Observers called after every LRA scheduling cycle with (sim, result).
+        self.cycle_observers: list[Callable] = []
+        self._install_periodic_activity()
+
+    # -- periodic machinery ------------------------------------------------------
+
+    def _install_periodic_activity(self) -> None:
+        self.engine.schedule_periodic(
+            self.config.heartbeat_interval_s,
+            self._heartbeat_tick,
+            until=self.config.horizon_s,
+        )
+        self.engine.schedule_periodic(
+            self.config.scheduling_interval_s,
+            self._cycle_tick,
+            until=self.config.horizon_s,
+        )
+
+    def _heartbeat_tick(self, engine: SimulationEngine) -> None:
+        allocations = self.medea.heartbeat_all(engine.now)
+        for allocation in allocations:
+            duration = self._task_durations.pop(allocation.task_id, None)
+            if duration is not None:
+                engine.schedule_in(
+                    duration,
+                    lambda _e, tid=allocation.task_id: self._finish_task(tid),
+                )
+
+    def _cycle_tick(self, engine: SimulationEngine) -> None:
+        result = self.medea.run_cycle(engine.now)
+        for placement in result.placements:
+            app_id = placement.app_id
+            duration = self._lra_durations.get(app_id)
+            if duration is not None:
+                # Schedule teardown once per app (pop marks it scheduled).
+                self._lra_durations.pop(app_id)
+                engine.schedule_in(
+                    duration, lambda _e, a=app_id: self._finish_lra(a)
+                )
+        for observer in self.cycle_observers:
+            observer(self, result)
+
+    def _finish_task(self, task_id: str) -> None:
+        # The task may already be gone if the run was torn down.
+        if task_id in self.state.containers:
+            self.task_scheduler.release_task(task_id)
+
+    def _finish_lra(self, app_id: str) -> None:
+        self.medea.complete_lra(app_id)
+
+    # -- submissions ------------------------------------------------------------------
+
+    def submit_lra(
+        self, request: LRARequest, *, at: float = 0.0, duration_s: float | None = None
+    ) -> None:
+        if duration_s is not None:
+            self._lra_durations[request.app_id] = duration_s
+        self.engine.schedule_at(
+            at, lambda engine, r=request: self.medea.submit_lra(r, engine.now)
+        )
+
+    def submit_task(self, task: TaskRequest, *, at: float = 0.0) -> None:
+        self._task_durations[task.task_id] = task.duration_s
+        self.engine.schedule_at(
+            at, lambda engine, t=task: self.medea.submit_task(t, engine.now)
+        )
+
+    def set_node_availability(self, node_id: str, up: bool, *, at: float) -> None:
+        """Replay one unavailability transition from a failure trace."""
+
+        def flip(_engine: SimulationEngine) -> None:
+            self.state.topology.node(node_id).available = up
+
+        self.engine.schedule_at(at, flip)
+
+    # -- running ---------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        return self.engine.run(until if until is not None else self.config.horizon_s)
+
+    # -- convenience metrics ------------------------------------------------------------
+
+    def task_latencies(self) -> list[float]:
+        return [a.latency_s for a in self.task_scheduler.completed_allocations]
+
+    def lra_latencies(self) -> list[float]:
+        return self.medea.placed_lra_latencies()

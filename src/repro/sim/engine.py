@@ -1,0 +1,109 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are (time, sequence) ordered,
+callbacks receive the engine so they can schedule follow-ups.  This is the
+substrate standing in for the paper's simulator, which "executes Medea with
+simulated machines, merely ignoring RPCs and task execution" (§7.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["SimulationEngine"]
+
+Callback = Callable[["SimulationEngine"], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class SimulationEngine:
+    """Deterministic single-threaded event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._running = False
+
+    def schedule_at(self, time: float, callback: Callback) -> _Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        event = _Event(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callback) -> _Event:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callback,
+        *,
+        start: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        """Invoke ``callback`` every ``interval`` seconds until ``until``."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = self.now + interval if start is None else start
+
+        def tick(engine: "SimulationEngine") -> None:
+            callback(engine)
+            next_time = engine.now + interval
+            if until is None or next_time <= until:
+                engine.schedule_at(next_time, tick)
+
+        if until is None or first <= until:
+            self.schedule_at(first, tick)
+
+    def cancel(self, event: _Event) -> None:
+        event.cancelled = True
+
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain events (optionally up to simulated time ``until``); returns
+        the final clock value."""
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback(self)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(self)
+            return True
+        return False

@@ -1,0 +1,68 @@
+"""HiGHS backend: delegate a :class:`MilpModel` to ``scipy.optimize.milp``.
+
+This is the production backend (fast, battle-tested); the branch-and-bound
+solver next door provides an independent implementation for
+cross-validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .model import MilpModel, MilpSolution, Sense, SolveStatus
+
+__all__ = ["solve_highs", "HighsOptions"]
+
+
+class HighsOptions:
+    """Options accepted by the HiGHS MILP backend."""
+
+    def __init__(self, time_limit_s: float = 120.0, mip_rel_gap: float = 1e-6) -> None:
+        self.time_limit_s = time_limit_s
+        self.mip_rel_gap = mip_rel_gap
+
+
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ERROR,       # iteration/time limit without a solution
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSolution:
+    options = options or HighsOptions()
+    sign = -1.0 if model.sense is Sense.MAXIMIZE else 1.0
+    c = sign * model.objective_vector()
+    lower, upper = model.variable_bounds()
+    constraints = []
+    if model.num_constraints:
+        matrix, lb, ub = model.constraint_matrix()
+        constraints.append(LinearConstraint(matrix, lb, ub))
+    result = milp(
+        c=c,
+        constraints=constraints,
+        bounds=Bounds(lower, upper),
+        integrality=model.integrality(),
+        options={
+            "time_limit": options.time_limit_s,
+            "mip_rel_gap": options.mip_rel_gap,
+        },
+    )
+    if result.x is None:
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+        return MilpSolution(status, math.nan, ())
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status is SolveStatus.ERROR and result.x is not None:
+        status = SolveStatus.FEASIBLE  # limit hit but incumbent available
+    values = np.asarray(result.x, dtype=float)
+    # Snap integer variables to exact integers to shield downstream code
+    # from solver tolerance noise.
+    for index in model.integer_indices():
+        values[index] = round(values[index])
+    objective = sign * float(result.fun)
+    return MilpSolution(status, objective, tuple(values.tolist()))

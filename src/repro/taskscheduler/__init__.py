@@ -1,0 +1,22 @@
+"""Task-based schedulers (YARN Capacity / Fair / FIFO)."""
+
+from __future__ import annotations
+
+from .base import PlacementConflictError, TaskAllocation, TaskBasedScheduler, TASK_TAG
+from .capacity import CapacityScheduler
+from .fair import FairScheduler
+from .fifo import FifoScheduler
+from .queues import LeafQueue, QueueConfig, QueueSystem
+
+__all__ = [
+    "TASK_TAG",
+    "PlacementConflictError",
+    "TaskAllocation",
+    "TaskBasedScheduler",
+    "CapacityScheduler",
+    "FairScheduler",
+    "FifoScheduler",
+    "LeafQueue",
+    "QueueConfig",
+    "QueueSystem",
+]

@@ -1,0 +1,165 @@
+"""Task-based scheduler interface (the second half of the two-scheduler design).
+
+The task-based scheduler is the *only* component that performs actual
+allocations (paper §3): LRA placements computed by the LRA scheduler are
+handed to it as placement hints (:meth:`apply_lra_placement`), and plain
+task requests are allocated directly on node heartbeats, YARN-style.  This
+single-allocator property is what lets Medea avoid the conflicting-placement
+problem of multi-level schedulers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..cluster.resources import Resource
+from ..cluster.state import ClusterState
+from ..core.requests import TaskRequest
+from ..core.scheduler import ContainerPlacement
+from .queues import QueueConfig, QueueSystem
+
+__all__ = ["TaskAllocation", "PlacementConflictError", "TaskBasedScheduler"]
+
+#: Tag automatically attached to short-running task containers so metrics can
+#: tell them apart from LRA containers.
+TASK_TAG = "task"
+
+
+@dataclass(frozen=True)
+class TaskAllocation:
+    """A task container successfully allocated on a node."""
+
+    task_id: str
+    app_id: str
+    node_id: str
+    resource: Resource
+    submit_time: float
+    allocation_time: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.allocation_time - self.submit_time
+
+
+class PlacementConflictError(RuntimeError):
+    """Raised when an LRA placement hint can no longer be honoured because
+    the cluster state changed between decision and allocation (paper §5.4);
+    Medea's policy is to resubmit the LRA."""
+
+
+class TaskBasedScheduler(abc.ABC):
+    """Heartbeat-driven allocator for short-running containers."""
+
+    name = "task-based"
+
+    def __init__(
+        self,
+        state: ClusterState,
+        queue_configs: Iterable[QueueConfig] = (),
+    ) -> None:
+        self.state = state
+        cluster_mem = state.topology.total_capacity().memory_mb
+        self.queues = QueueSystem(queue_configs, cluster_mem)
+        #: task_id -> submit time for everything submitted but not allocated.
+        self._submit_times: dict[str, float] = {}
+        #: task_id -> queue name, kept until release for capacity refunds.
+        self._task_queue: dict[str, str] = {}
+        self.completed_allocations: list[TaskAllocation] = []
+
+    # -- task path -------------------------------------------------------------
+
+    def submit(self, task: TaskRequest, now: float = 0.0) -> None:
+        self.queues.enqueue(task)
+        self._submit_times[task.task_id] = now
+        self._task_queue[task.task_id] = task.queue
+
+    def pending_tasks(self) -> int:
+        return self.queues.pending_count()
+
+    def handle_heartbeat(self, node_id: str, now: float) -> list[TaskAllocation]:
+        """Allocate queued tasks onto the heartbeating node until it is full
+        or no queue can use it.  Returns the new allocations."""
+        node = self.state.topology.node(node_id)
+        allocations: list[TaskAllocation] = []
+        while node.available:
+            task = self._select_task(node_id)
+            if task is None:
+                break
+            if not node.can_fit(task.resource):
+                break
+            queue = self.queues.queue(task.queue)
+            queue.pop_head()
+            queue.charge(task.resource)
+            self.state.allocate(
+                task.task_id,
+                node_id,
+                task.resource,
+                (TASK_TAG,),
+                task.app_id,
+                long_running=False,
+            )
+            allocation = TaskAllocation(
+                task_id=task.task_id,
+                app_id=task.app_id,
+                node_id=node_id,
+                resource=task.resource,
+                submit_time=self._submit_times.pop(task.task_id, now),
+                allocation_time=now,
+            )
+            allocations.append(allocation)
+            self.completed_allocations.append(allocation)
+        return allocations
+
+    def release_task(self, task_id: str) -> None:
+        placed = self.state.release(task_id)
+        queue_name = self._task_queue.pop(task_id, None)
+        if queue_name is not None:
+            self.queues.queue(queue_name).refund(placed.allocation.resource)
+
+    @abc.abstractmethod
+    def _select_task(self, node_id: str) -> TaskRequest | None:
+        """Pick the next queued task this node should serve (without
+        dequeuing it), or ``None`` if nothing is eligible."""
+
+    # -- LRA path ------------------------------------------------------------------
+
+    def apply_lra_placement(self, placement: ContainerPlacement) -> None:
+        """Perform the actual allocation for an LRA placement hint.
+
+        Raises :class:`PlacementConflictError` if the target node no longer
+        has room — the caller (Medea facade) resubmits the LRA.
+        """
+        node = self.state.topology.node(placement.node_id)
+        if not node.can_fit(placement.resource):
+            raise PlacementConflictError(
+                f"placement of {placement.container_id} on {placement.node_id} "
+                f"conflicts: need {placement.resource}, free {node.free}"
+            )
+        self.state.allocate(
+            placement.container_id,
+            placement.node_id,
+            placement.resource,
+            placement.tags,
+            placement.app_id,
+            long_running=True,
+        )
+
+    def apply_lra_placements(
+        self, placements: Iterable[ContainerPlacement]
+    ) -> list[ContainerPlacement]:
+        """Apply a batch atomically: on conflict, roll back the containers
+        already applied from this batch and re-raise.  The Medea facade
+        calls this once per application so a conflict rejects only the
+        affected LRA."""
+        applied: list[ContainerPlacement] = []
+        try:
+            for placement in placements:
+                self.apply_lra_placement(placement)
+                applied.append(placement)
+        except PlacementConflictError:
+            for placement in applied:
+                self.state.release(placement.container_id)
+            raise
+        return applied

@@ -1,0 +1,52 @@
+"""Capacity Scheduler — the task-based scheduler Medea uses by default (§6).
+
+YARN's Capacity Scheduler orders queues by how far below their guaranteed
+capacity they are (least-served first) and serves each leaf queue FIFO,
+honouring a task's locality preferences with delay scheduling: a task with
+preferences skips a bounded number of non-matching heartbeats before
+relaxing to node → rack → any.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.requests import TaskRequest
+from .base import TaskBasedScheduler
+
+__all__ = ["CapacityScheduler"]
+
+
+class CapacityScheduler(TaskBasedScheduler):
+    name = "capacity"
+
+    #: Heartbeats a locality-constrained task waits before accepting any node.
+    locality_delay = 3
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._skip_counts: defaultdict[str, int] = defaultdict(int)
+
+    def _select_task(self, node_id: str) -> TaskRequest | None:
+        node = self.state.topology.node(node_id)
+        for queue in sorted(
+            self.queues.nonempty_queues(), key=lambda q: q.utilization()
+        ):
+            task = queue.head()
+            if task is None:
+                continue
+            if not queue.can_use(task.resource):
+                continue
+            if self._locality_ok(task, node_id, node.rack):
+                self._skip_counts.pop(task.task_id, None)
+                return task
+            self._skip_counts[task.task_id] += 1
+        return None
+
+    def _locality_ok(self, task: TaskRequest, node_id: str, rack: str) -> bool:
+        if not task.locality:
+            return True
+        if node_id in task.locality or rack in task.locality:
+            return True
+        # Delay scheduling: relax to "any node" after enough skipped offers.
+        return self._skip_counts[task.task_id] >= self.locality_delay

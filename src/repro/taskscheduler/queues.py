@@ -1,0 +1,112 @@
+"""Hierarchical scheduler queues (YARN-style).
+
+The task-based scheduler organises applications into queues with guaranteed
+capacities (fractions of the cluster) and optional maximum capacities.  We
+model the common two-level layout: a root queue with leaf queues under it.
+Capacity accounting is in memory MB, YARN's primary scheduling dimension.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterable
+
+from ..cluster.resources import Resource
+from ..core.requests import TaskRequest
+
+__all__ = ["QueueConfig", "LeafQueue", "QueueSystem"]
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Static configuration of one leaf queue."""
+
+    name: str
+    capacity_fraction: float
+    max_capacity_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_fraction <= 1.0:
+            raise ValueError(f"queue {self.name}: capacity must be in (0, 1]")
+        if self.max_capacity_fraction < self.capacity_fraction:
+            raise ValueError(
+                f"queue {self.name}: max capacity below guaranteed capacity"
+            )
+
+
+class LeafQueue:
+    """A FIFO leaf queue with capacity accounting."""
+
+    def __init__(self, config: QueueConfig, cluster_memory_mb: int) -> None:
+        self.config = config
+        self.guaranteed_mb = int(config.capacity_fraction * cluster_memory_mb)
+        self.max_mb = int(config.max_capacity_fraction * cluster_memory_mb)
+        self.used_mb = 0
+        self.pending: Deque[TaskRequest] = deque()
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def utilization(self) -> float:
+        """Used capacity relative to the guarantee (the Capacity Scheduler's
+        ordering key — least-served queue first)."""
+        if self.guaranteed_mb == 0:
+            return float("inf")
+        return self.used_mb / self.guaranteed_mb
+
+    def can_use(self, demand: Resource) -> bool:
+        return self.used_mb + demand.memory_mb <= self.max_mb
+
+    def charge(self, demand: Resource) -> None:
+        self.used_mb += demand.memory_mb
+
+    def refund(self, demand: Resource) -> None:
+        self.used_mb = max(0, self.used_mb - demand.memory_mb)
+
+    def enqueue(self, task: TaskRequest) -> None:
+        self.pending.append(task)
+
+    def head(self) -> TaskRequest | None:
+        return self.pending[0] if self.pending else None
+
+    def pop_head(self) -> TaskRequest:
+        return self.pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class QueueSystem:
+    """The root queue and its leaves."""
+
+    def __init__(
+        self, configs: Iterable[QueueConfig], cluster_memory_mb: int
+    ) -> None:
+        configs = list(configs)
+        if not configs:
+            configs = [QueueConfig("default", 1.0)]
+        total = sum(c.capacity_fraction for c in configs)
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"queue capacities sum to {total:.3f} > 1")
+        self.queues: dict[str, LeafQueue] = {
+            c.name: LeafQueue(c, cluster_memory_mb) for c in configs
+        }
+
+    def queue(self, name: str) -> LeafQueue:
+        try:
+            return self.queues[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown queue {name!r} (known: {sorted(self.queues)})"
+            ) from None
+
+    def enqueue(self, task: TaskRequest) -> None:
+        self.queue(task.queue).enqueue(task)
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def nonempty_queues(self) -> list[LeafQueue]:
+        return [q for q in self.queues.values() if len(q) > 0]

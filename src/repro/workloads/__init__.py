@@ -1,0 +1,22 @@
+"""Synthetic workload generators (GridMix, Google trace, YCSB, LRA populations)."""
+
+from __future__ import annotations
+
+from .googletrace import GoogleTraceConfig, generate_trace
+from .gridmix import GridMixConfig, fill_cluster, generate_tasks
+from .lra_gen import complexity_population, hbase_population, population_for_utilization
+from .ycsb import YCSB_WORKLOADS, YcsbWorkload, workload
+
+__all__ = [
+    "GoogleTraceConfig",
+    "generate_trace",
+    "GridMixConfig",
+    "fill_cluster",
+    "generate_tasks",
+    "complexity_population",
+    "hbase_population",
+    "population_for_utilization",
+    "YCSB_WORKLOADS",
+    "YcsbWorkload",
+    "workload",
+]

@@ -1,0 +1,170 @@
+"""LRA population generators for the global-objectives experiments (Fig. 9).
+
+Three generators:
+
+* :func:`hbase_population` — N HBase instances with the paper's §7.1
+  constraints (the workload of Figs. 9a/9b/9c, 10a/10b);
+* :func:`population_for_utilization` — enough instances to hit a target
+  cluster memory utilisation;
+* :func:`complexity_population` — groups of LRAs linked by
+  inter-application affinity/cardinality constraints involving up to X
+  applications (the "complexity" axis of Fig. 9d).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..cluster.resources import Resource
+from ..cluster.topology import ClusterTopology
+from ..core.constraints import PlacementConstraint, affinity, cardinality
+from ..core.requests import ContainerRequest, LRARequest
+from ..tags import app_id_tag
+from ..apps.hbase import hbase_instance
+
+__all__ = [
+    "hbase_population",
+    "population_for_utilization",
+    "complexity_population",
+]
+
+
+def hbase_population(
+    count: int,
+    *,
+    region_servers: int = 10,
+    max_rs_per_node: int = 2,
+    prefix: str = "hb",
+) -> list[LRARequest]:
+    """``count`` HBase instances with the §7.1 default constraints."""
+    return [
+        hbase_instance(
+            f"{prefix}-{i:04d}",
+            region_servers=region_servers,
+            max_rs_per_node=max_rs_per_node,
+        )
+        for i in range(count)
+    ]
+
+
+def bulk_lra(app_id: str, *, workers: int = 6, memory_mb: int = 4096) -> LRARequest:
+    """An unconstrained, memory-heavy LRA (cache / serving style).
+
+    Production clusters host *tens* of LRA classes (§2.1); most carry no or
+    trivial placement constraints.  Bulk LRAs stand in for that mass and
+    let high-utilisation experiments stay *satisfiable*: the constrained
+    HBase instances alone could not fill 90% of memory without their own
+    cardinality caps making violations mathematically unavoidable for
+    every scheduler.
+    """
+    containers = [
+        ContainerRequest(f"{app_id}/b{i}", Resource(memory_mb, 1), frozenset({"bulk"}))
+        for i in range(workers)
+    ]
+    return LRARequest(app_id, containers)
+
+
+def population_for_utilization(
+    topology: ClusterTopology,
+    memory_fraction: float,
+    *,
+    region_servers: int = 10,
+    max_rs_per_node: int = 2,
+    prefix: str = "hb",
+    constrained_memory_cap: float = 0.30,
+) -> list[LRARequest]:
+    """A mixed LRA population occupying ``memory_fraction`` of memory.
+
+    Constrained HBase instances supply up to ``constrained_memory_cap`` of
+    cluster memory (beyond which their own cardinality caps would make the
+    workload unsatisfiable — see :func:`bulk_lra`); unconstrained bulk LRAs
+    supply the rest.  The two classes are interleaved so every scheduling
+    batch sees a realistic mix.
+    """
+    if not 0 < memory_fraction <= 1:
+        raise ValueError("memory_fraction must be in (0, 1]")
+    total_mb = topology.total_capacity().memory_mb
+    sample = hbase_instance(
+        "sizing-probe", region_servers=region_servers, max_rs_per_node=max_rs_per_node
+    )
+    per_hbase_mb = sample.total_resource().memory_mb
+    hbase_fraction = min(memory_fraction, constrained_memory_cap)
+    hbase_count = max(1, int(hbase_fraction * total_mb / per_hbase_mb))
+    hbase = hbase_population(
+        hbase_count,
+        region_servers=region_servers,
+        max_rs_per_node=max_rs_per_node,
+        prefix=prefix,
+    )
+    remaining_mb = max(0.0, (memory_fraction - hbase_fraction) * total_mb)
+    sample_bulk = bulk_lra("bulk-probe")
+    per_bulk_mb = sample_bulk.total_resource().memory_mb
+    bulk = [
+        bulk_lra(f"{prefix}-bulk-{i:04d}")
+        for i in range(int(remaining_mb / per_bulk_mb))
+    ]
+    # Interleave: constrained and bulk apps arrive mixed, not in phases.
+    population: list[LRARequest] = []
+    h, b = 0, 0
+    while h < len(hbase) or b < len(bulk):
+        if h < len(hbase):
+            population.append(hbase[h])
+            h += 1
+        for _ in range(2):
+            if b < len(bulk):
+                population.append(bulk[b])
+                b += 1
+    return population
+
+
+def complexity_population(
+    groups: int,
+    complexity: int,
+    *,
+    containers_per_lra: int = 10,
+    resource: Resource = Resource(2048, 1),
+    seed: int = 0,
+    prefix: str = "cx",
+) -> list[LRARequest]:
+    """Groups of ``complexity`` LRAs tied together by inter-application
+    constraints (Fig. 9d's complexity axis).
+
+    Within each group, application *i* carries a constraint toward
+    application *i+1*'s containers — alternating between rack affinity and
+    node cardinality, chosen pseudo-randomly — so satisfying one LRA's
+    constraints requires reasoning about up to ``complexity`` applications
+    at once.
+    """
+    if complexity < 1:
+        raise ValueError("complexity must be >= 1")
+    rng = random.Random(seed)
+    requests: list[LRARequest] = []
+    for g in range(groups):
+        group_apps = [f"{prefix}-{g:03d}-{i:02d}" for i in range(complexity)]
+        for i, app_id in enumerate(group_apps):
+            worker_tag = f"{prefix}w"
+            containers = [
+                ContainerRequest(
+                    f"{app_id}/w{j}", resource, frozenset({worker_tag})
+                )
+                for j in range(containers_per_lra)
+            ]
+            constraints: list[PlacementConstraint] = [
+                # Local interference cap, as in the HBase template.
+                cardinality(worker_tag, worker_tag, 0, 1, "node"),
+            ]
+            if complexity > 1:
+                target_app = group_apps[(i + 1) % complexity]
+                target_expr = (app_id_tag(target_app), worker_tag)
+                subject_expr = (app_id_tag(app_id), worker_tag)
+                if rng.random() < 0.5:
+                    constraints.append(
+                        affinity(subject_expr, target_expr, "rack")
+                    )
+                else:
+                    constraints.append(
+                        cardinality(subject_expr, target_expr, 0, 2, "rack")
+                    )
+            requests.append(LRARequest(app_id, containers, constraints))
+    return requests

@@ -1,0 +1,60 @@
+"""YCSB workload definitions (A–F) driving the HBase performance model.
+
+We do not execute a billion-record dataset; what matters for relative
+throughput under interference is each workload's operation mix and its
+baseline rate on an uncontended region server.  Baselines are loosely
+anchored to the magnitudes in the paper's Fig. 2b (tens of Kops/s for 40
+instances): heavier write/scan mixes have lower base rates and higher
+sensitivity to I/O interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["YcsbWorkload", "YCSB_WORKLOADS", "workload"]
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    """One YCSB core workload."""
+
+    name: str
+    read_fraction: float
+    update_fraction: float
+    scan_fraction: float
+    insert_fraction: float
+    #: Aggregate base throughput (Kops/s) for a full, interference-free
+    #: deployment of one HBase instance.
+    base_kops: float
+    #: Relative sensitivity of this mix to collocation interference
+    #: (scan/write-heavy mixes thrash disks harder).
+    interference_sensitivity: float
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_fraction
+            + self.update_fraction
+            + self.scan_fraction
+            + self.insert_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: fractions sum to {total}")
+
+
+#: The six core workloads (YCSB wiki definitions), with base rates.
+YCSB_WORKLOADS: dict[str, YcsbWorkload] = {
+    "A": YcsbWorkload("A", 0.50, 0.50, 0.0, 0.0, base_kops=62.0, interference_sensitivity=1.0),
+    "B": YcsbWorkload("B", 0.95, 0.05, 0.0, 0.0, base_kops=75.0, interference_sensitivity=0.8),
+    "C": YcsbWorkload("C", 1.00, 0.00, 0.0, 0.0, base_kops=82.0, interference_sensitivity=0.7),
+    "D": YcsbWorkload("D", 0.95, 0.00, 0.0, 0.05, base_kops=70.0, interference_sensitivity=0.8),
+    "E": YcsbWorkload("E", 0.00, 0.00, 0.95, 0.05, base_kops=28.0, interference_sensitivity=1.3),
+    "F": YcsbWorkload("F", 0.50, 0.50, 0.0, 0.0, base_kops=55.0, interference_sensitivity=1.1),
+}
+
+
+def workload(name: str) -> YcsbWorkload:
+    try:
+        return YCSB_WORKLOADS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown YCSB workload {name!r} (A–F)") from None

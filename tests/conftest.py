@@ -1,0 +1,23 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterState, ConstraintManager, build_cluster
+
+
+@pytest.fixture
+def small_topology():
+    """Ten nodes, two racks, 16 GB / 8 cores each."""
+    return build_cluster(10, racks=2, memory_mb=16 * 1024, vcores=8)
+
+
+@pytest.fixture
+def state(small_topology):
+    return ClusterState(small_topology)
+
+
+@pytest.fixture
+def manager(small_topology):
+    return ConstraintManager(small_topology)

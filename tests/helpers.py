@@ -1,0 +1,36 @@
+"""Shared test builders (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import ClusterState, ContainerRequest, LRARequest, Resource
+
+_counter = itertools.count(1)
+
+
+def make_lra(
+    app_id: str | None = None,
+    *,
+    containers: int = 3,
+    tags: set[str] | None = None,
+    constraints=(),
+    compound=(),
+    memory_mb: int = 1024,
+    vcores: int = 1,
+) -> LRARequest:
+    """Terse LRA builder for tests."""
+    if app_id is None:
+        app_id = f"t-{next(_counter):04d}"
+    tag_set = frozenset(tags or {"w"})
+    reqs = [
+        ContainerRequest(f"{app_id}/c{i}", Resource(memory_mb, vcores), tag_set)
+        for i in range(containers)
+    ]
+    return LRARequest(app_id, reqs, constraints, compound)
+
+
+def place_all(state: ClusterState, result) -> None:
+    """Apply a PlacementResult onto the state (test convenience)."""
+    for p in result.placements:
+        state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)

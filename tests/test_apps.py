@@ -1,0 +1,165 @@
+"""Tests for the LRA application templates (§7.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Resource, UNBOUNDED
+from repro.apps import (
+    HB_MASTER,
+    HB_RS,
+    HB_SECONDARY,
+    HB_TAG,
+    HB_THRIFT,
+    MEMCACHED_TAG,
+    STORM_SUPERVISOR,
+    STORM_TAG,
+    TF_CHIEF,
+    TF_PS,
+    TF_TAG,
+    TF_WORKER,
+    hbase_instance,
+    max_collocated,
+    memcached_instance,
+    same_rack_group,
+    storm_instance,
+    tensorflow_instance,
+    worker_containers,
+)
+from repro.tags import app_id_tag
+
+
+class TestCommonHelpers:
+    def test_worker_containers(self):
+        cs = worker_containers("app", "w", "cls", 3, Resource(1024, 1))
+        assert len(cs) == 3
+        assert all({"cls", "w"} <= c.tags for c in cs)
+        assert len({c.container_id for c in cs}) == 3
+
+    def test_max_collocated_encoding(self):
+        c = max_collocated("w", 2)
+        tc = c.tag_constraints[0]
+        assert (tc.cmin, tc.cmax) == (0, 1)  # self excluded
+        assert c.node_group == "node"
+
+    def test_max_collocated_one_means_anti_affinity(self):
+        tc = max_collocated("w", 1).tag_constraints[0]
+        assert tc.is_anti_affinity()
+
+    def test_max_collocated_invalid(self):
+        with pytest.raises(ValueError):
+            max_collocated("w", 0)
+
+    def test_same_rack_group_encoding(self):
+        c = same_rack_group(("app", "w"), 5)
+        tc = c.tag_constraints[0]
+        assert tc.cmin == 4 and tc.cmax == UNBOUNDED
+        assert c.node_group == "rack"
+
+    def test_same_rack_group_invalid(self):
+        with pytest.raises(ValueError):
+            same_rack_group(("a",), 1)
+
+
+class TestHBaseTemplate:
+    def test_default_shape(self):
+        req = hbase_instance("hb1")
+        roles = {}
+        for c in req.containers:
+            for tag in (HB_RS, HB_MASTER, HB_THRIFT, HB_SECONDARY):
+                if tag in c.tags:
+                    roles[tag] = roles.get(tag, 0) + 1
+        assert roles == {HB_RS: 10, HB_MASTER: 1, HB_THRIFT: 1, HB_SECONDARY: 1}
+        assert len(req.containers) == 13
+
+    def test_resources_match_paper(self):
+        req = hbase_instance("hb1")
+        for c in req.containers:
+            if HB_RS in c.tags:
+                assert c.resource == Resource(2048, 1)
+            else:
+                assert c.resource == Resource(1024, 1)
+
+    def test_app_tag_attached(self):
+        req = hbase_instance("hb1")
+        assert all(app_id_tag("hb1") in c.tags for c in req.containers)
+        assert all(HB_TAG in c.tags for c in req.containers)
+
+    def test_default_constraints(self):
+        req = hbase_instance("hb1")
+        groups = sorted(c.node_group for c in req.constraints)
+        # rack affinity + node cardinality + master/thrift + master/secondary
+        assert groups == ["node", "node", "node", "rack"]
+
+    def test_constraints_disabled(self):
+        req = hbase_instance("hb1", constraints_enabled=False)
+        assert req.constraints == ()
+
+    def test_no_aux(self):
+        req = hbase_instance("hb1", with_aux=False, region_servers=4)
+        assert len(req.containers) == 4
+        assert len(req.constraints) == 2  # rack + cardinality only
+
+    def test_single_rs_no_rack_affinity(self):
+        req = hbase_instance("hb1", region_servers=1, with_aux=False)
+        assert all(c.node_group != "rack" for c in req.constraints)
+
+
+class TestTensorFlowTemplate:
+    def test_default_shape(self):
+        req = tensorflow_instance("tf1")
+        workers = [c for c in req.containers if TF_WORKER in c.tags]
+        ps = [c for c in req.containers if TF_PS in c.tags]
+        chief = [c for c in req.containers if TF_CHIEF in c.tags]
+        assert (len(workers), len(ps), len(chief)) == (8, 2, 1)
+
+    def test_chief_resource(self):
+        req = tensorflow_instance("tf1")
+        chief = next(c for c in req.containers if TF_CHIEF in c.tags)
+        assert chief.resource == Resource(4096, 1)
+
+    def test_cardinality_constraint(self):
+        req = tensorflow_instance("tf1", max_workers_per_node=4)
+        card = next(c for c in req.constraints if c.node_group == "node")
+        assert card.tag_constraints[0].cmax == 3
+
+    def test_tagging(self):
+        req = tensorflow_instance("tf1")
+        assert all(TF_TAG in c.tags for c in req.containers)
+
+
+class TestStormTemplates:
+    def test_placement_policies(self):
+        none = storm_instance("s1", placement="none")
+        intra = storm_instance("s2", placement="intra")
+        inter = storm_instance("s3", placement="intra-inter")
+        assert len(none.constraints) == 0
+        assert len(intra.constraints) == 1
+        assert len(inter.constraints) == 2
+
+    def test_intra_requires_full_collocation(self):
+        req = storm_instance("s1", supervisors=5, placement="intra")
+        tc = req.constraints[0].tag_constraints[0]
+        assert tc.cmin == 4
+
+    def test_inter_matches_paper_example(self):
+        """Caf = {storm, {mem, 1, inf}, node}."""
+        req = storm_instance("s1", placement="intra-inter")
+        inter = req.constraints[1]
+        assert inter.subject.tags == {STORM_TAG}
+        tc = inter.tag_constraints[0]
+        assert tc.c_tag.tags == {MEMCACHED_TAG}
+        assert tc.cmin == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            storm_instance("s1", placement="chaotic")
+
+    def test_supervisor_count(self):
+        req = storm_instance("s1", supervisors=3)
+        assert sum(1 for c in req.containers if STORM_SUPERVISOR in c.tags) == 3
+
+    def test_memcached_single_container(self):
+        req = memcached_instance("mc1")
+        assert len(req.containers) == 1
+        assert MEMCACHED_TAG in req.containers[0].tags

@@ -1,0 +1,79 @@
+"""Tests for the Table 1 capability matrix — including checks that the
+rows for systems implemented here match actual scheduler behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.capabilities import (
+    TABLE_1,
+    Support,
+    capabilities_of,
+    render_table1,
+)
+
+
+class TestMatrix:
+    def test_nine_systems(self):
+        assert len(TABLE_1) == 9
+        names = [c.system for c in TABLE_1]
+        assert names[0] == "YARN" and names[-1] == "Medea"
+
+    def test_medea_full_support(self):
+        medea = capabilities_of("Medea")
+        assert all(
+            value is Support.FULL
+            for value in (
+                medea.affinity, medea.anti_affinity, medea.cardinality,
+                medea.intra, medea.inter, medea.high_level,
+                medea.global_objectives, medea.low_latency,
+            )
+        )
+
+    def test_only_medea_has_full_global_objectives(self):
+        full = [c.system for c in TABLE_1 if c.global_objectives is Support.FULL]
+        assert full == ["Medea"]
+
+    def test_kubernetes_lacks_cardinality(self):
+        assert capabilities_of("Kubernetes").cardinality is Support.NONE
+
+    def test_yarn_row(self):
+        yarn = capabilities_of("YARN")
+        assert yarn.affinity is Support.IMPLICIT
+        assert yarn.low_latency is Support.FULL
+        assert yarn.inter is Support.NONE
+
+    def test_lookup_case_insensitive(self):
+        assert capabilities_of("medea").system == "Medea"
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            capabilities_of("Windows Task Scheduler")
+
+    def test_render_contains_all_rows(self):
+        text = render_table1()
+        for caps in TABLE_1:
+            assert caps.system in text
+        assert "cardinality" in text
+
+
+class TestBehaviourMatchesMatrix:
+    """The matrix rows for implemented systems are checked against code."""
+
+    def test_jkube_matches_kubernetes_row(self):
+        from repro import JKubeScheduler
+
+        row = capabilities_of("Kubernetes")
+        assert (row.cardinality is Support.NONE) == (
+            not JKubeScheduler.supports_cardinality
+        )
+
+    def test_medea_schedulers_exist_for_claims(self):
+        """Medea claims full support: the repo must provide cardinality
+        constraints, inter-app constraints and global objectives."""
+        from repro import IlpWeights, cardinality
+
+        c = cardinality("a", "b", 2, 5, "rack")
+        assert c.tag_constraints[0].cmin == 2
+        weights = IlpWeights()
+        assert weights.w2_violations > 0 and weights.w3_fragmentation > 0

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.nodes == 60 and args.instances == 8
+
+
+class TestTable1:
+    def test_prints_matrix(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Medea" in out and "Kubernetes" in out
+
+
+class TestParse:
+    def test_valid_constraint(self, capsys):
+        assert main(["parse", "{storm, {hb & mem, 1, inf}, node}"]) == 0
+        out = capsys.readouterr().out
+        assert "affinity" in out and "node" in out
+
+    def test_anti_affinity_kind(self, capsys):
+        assert main(["parse", "{a, {b, 0, 0}, rack}"]) == 0
+        assert "anti-affinity" in capsys.readouterr().out
+
+    def test_invalid_constraint(self, capsys):
+        assert main(["parse", "not a constraint"]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_small_comparison_runs(self, capsys):
+        assert main([
+            "compare", "--nodes", "12", "--racks", "2",
+            "--instances", "2", "--max-rs-per-node", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MEDEA-ILP" in out and "YARN" in out
+        assert "violations" in out
+
+
+class TestSimulate:
+    def test_short_simulation_runs(self, capsys):
+        assert main([
+            "simulate", "--nodes", "12", "--horizon", "30",
+            "--lras", "1", "--tasks", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "LRAs placed" in out
+        assert "tasks allocated" in out

@@ -1,0 +1,112 @@
+"""Tests for the constraint manager (§3, §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CompoundConstraint,
+    ConstraintManager,
+    affinity,
+    anti_affinity,
+    cardinality,
+)
+from repro.core.constraint_manager import ConstraintValidationError
+from tests.helpers import make_lra
+
+
+class TestRegistration:
+    def test_register_and_query(self, manager):
+        req = make_lra("a", constraints=[affinity("x", "y", "node")])
+        manager.register_application(req)
+        assert manager.constraints_of("a") == list(req.constraints)
+        assert manager.registered_apps() == ["a"]
+
+    def test_register_compound(self, manager):
+        comp = CompoundConstraint(((affinity("x", "y"),),))
+        req = make_lra("a", compound=[comp])
+        manager.register_application(req)
+        assert manager.compound_of("a") == [comp]
+        assert manager.active_compound_constraints() == [comp]
+
+    def test_unknown_group_rejected(self, manager):
+        req = make_lra("a", constraints=[affinity("x", "y", "mystery_group")])
+        with pytest.raises(ConstraintValidationError):
+            manager.register_application(req)
+
+    def test_unknown_group_in_compound_rejected(self, manager):
+        comp = CompoundConstraint(((affinity("x", "y", "mystery"),),))
+        req = make_lra("a", compound=[comp])
+        with pytest.raises(ConstraintValidationError):
+            manager.register_application(req)
+
+    def test_unregister(self, manager):
+        req = make_lra("a", constraints=[affinity("x", "y")])
+        manager.register_application(req)
+        manager.unregister_application("a")
+        assert manager.constraints_of("a") == []
+        assert manager.active_constraints() == []
+
+    def test_unregister_unknown_is_noop(self, manager):
+        manager.unregister_application("ghost")
+
+    def test_active_spans_apps(self, manager):
+        a = make_lra("a", constraints=[affinity("x", "y")])
+        b = make_lra("b", constraints=[anti_affinity("p", "q")])
+        manager.register_application(a)
+        manager.register_application(b)
+        assert len(manager.active_constraints()) == 2
+
+    def test_iter(self, manager):
+        manager.register_application(make_lra("a", constraints=[affinity("x", "y")]))
+        assert len(list(manager)) == 1
+
+
+class TestOperatorConstraints:
+    def test_register_operator(self, manager):
+        c = cardinality("w", "w", 0, 2, "node", origin="operator")
+        manager.register_operator_constraint(c)
+        assert manager.operator_constraints() == [c]
+        assert c in manager.active_constraints()
+
+    def test_wrong_origin_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager.register_operator_constraint(cardinality("w", "w", 0, 2, "node"))
+
+    def test_operator_validates_group(self, manager):
+        c = cardinality("w", "w", 0, 2, "nope", origin="operator")
+        with pytest.raises(ConstraintValidationError):
+            manager.register_operator_constraint(c)
+
+    def test_override_when_more_restrictive(self, manager):
+        """§5.2: operator constraints override app constraints on the same
+        triple when more restrictive."""
+        app_c = cardinality("w", "w", 0, 5, "node")
+        op_c = cardinality("w", "w", 0, 2, "node", origin="operator")
+        manager.register_application(make_lra("a", constraints=[app_c]))
+        manager.register_operator_constraint(op_c)
+        active = manager.active_constraints()
+        assert op_c in active
+        assert app_c not in active
+
+    def test_no_override_when_less_restrictive(self, manager):
+        app_c = cardinality("w", "w", 0, 2, "node")
+        op_c = cardinality("w", "w", 0, 5, "node", origin="operator")
+        manager.register_application(make_lra("a", constraints=[app_c]))
+        manager.register_operator_constraint(op_c)
+        active = manager.active_constraints()
+        assert app_c in active and op_c in active
+
+    def test_no_override_different_subject(self, manager):
+        app_c = cardinality("v", "v", 0, 5, "node")
+        op_c = cardinality("w", "w", 0, 2, "node", origin="operator")
+        manager.register_application(make_lra("a", constraints=[app_c]))
+        manager.register_operator_constraint(op_c)
+        assert app_c in manager.active_constraints()
+
+    def test_no_override_different_group(self, manager):
+        app_c = cardinality("w", "w", 0, 5, "rack")
+        op_c = cardinality("w", "w", 0, 2, "node", origin="operator")
+        manager.register_application(make_lra("a", constraints=[app_c]))
+        manager.register_operator_constraint(op_c)
+        assert app_c in manager.active_constraints()

@@ -1,0 +1,231 @@
+"""Unit tests for the constraint model (paper §4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CompoundConstraint,
+    PlacementConstraint,
+    TagConstraint,
+    TagExpression,
+    UNBOUNDED,
+    affinity,
+    anti_affinity,
+    cardinality,
+)
+from repro.tags import TagMultiset
+
+
+class TestTagExpression:
+    def test_single_tag(self):
+        expr = TagExpression("storm")
+        assert expr.tags == {"storm"}
+        assert expr.matches({"storm", "other"})
+        assert not expr.matches({"other"})
+
+    def test_conjunction(self):
+        expr = TagExpression(["hb", "mem"])
+        assert expr.matches({"hb", "mem", "x"})
+        assert not expr.matches({"hb"})
+
+    def test_and_operator(self):
+        expr = TagExpression("hb") & TagExpression("mem")
+        assert expr.tags == {"hb", "mem"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TagExpression([])
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            TagExpression("bad tag")
+
+    def test_hashable_and_eq(self):
+        assert TagExpression(["a", "b"]) == TagExpression(["b", "a"])
+        assert len({TagExpression("a"), TagExpression("a")}) == 1
+
+    def test_cardinality_in_multiset(self):
+        ms = TagMultiset(["hb", "hb", "mem"])
+        assert TagExpression(["hb", "mem"]).cardinality_in(ms) == 1
+
+    def test_repr_sorted(self):
+        assert repr(TagExpression(["b", "a"])) == "a ∧ b"
+
+
+class TestTagConstraint:
+    def test_affinity_detection(self):
+        assert TagConstraint(TagExpression("x"), 1, UNBOUNDED).is_affinity()
+        assert not TagConstraint(TagExpression("x"), 0, 0).is_affinity()
+
+    def test_anti_affinity_detection(self):
+        assert TagConstraint(TagExpression("x"), 0, 0).is_anti_affinity()
+        assert not TagConstraint(TagExpression("x"), 0, 1).is_anti_affinity()
+
+    def test_satisfaction_interval(self):
+        tc = TagConstraint(TagExpression("x"), 2, 5)
+        assert not tc.satisfied_by(1)
+        assert tc.satisfied_by(2)
+        assert tc.satisfied_by(5)
+        assert not tc.satisfied_by(6)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TagConstraint(TagExpression("x"), -1, 2)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            TagConstraint(TagExpression("x"), 3, 2)
+
+    def test_string_coerced_to_expression(self):
+        tc = TagConstraint("x", 0, 1)
+        assert isinstance(tc.c_tag, TagExpression)
+
+    def test_repr_infinity(self):
+        assert "∞" in repr(TagConstraint(TagExpression("x"), 1, UNBOUNDED))
+
+
+class TestViolationExtent:
+    """Eq. 8: relative violation extents."""
+
+    def test_no_violation_zero_extent(self):
+        tc = TagConstraint(TagExpression("x"), 1, 3)
+        assert tc.violation_extent(2) == 0.0
+
+    def test_min_side_relative(self):
+        tc = TagConstraint(TagExpression("x"), 4, UNBOUNDED)
+        assert tc.violation_extent(3) == pytest.approx(0.25)
+        assert tc.violation_extent(0) == pytest.approx(1.0)
+
+    def test_max_side_relative(self):
+        """Paper footnote 3: 10 containers against cmax=5 is a worse
+        violation than 6."""
+        tc = TagConstraint(TagExpression("x"), 0, 5)
+        assert tc.violation_extent(10) == pytest.approx(1.0)
+        assert tc.violation_extent(6) == pytest.approx(0.2)
+        assert tc.violation_extent(10) > tc.violation_extent(6)
+
+    def test_anti_affinity_raw_slack(self):
+        tc = TagConstraint(TagExpression("x"), 0, 0)
+        assert tc.violation_extent(1) == pytest.approx(1.0)
+        assert tc.violation_extent(3) == pytest.approx(3.0)
+
+
+class TestPlacementConstraint:
+    def test_factory_affinity(self):
+        c = affinity("storm", ["hb", "mem"], "node")
+        tc = c.tag_constraints[0]
+        assert tc.cmin == 1 and tc.cmax == UNBOUNDED
+        assert c.node_group == "node"
+
+    def test_factory_anti_affinity(self):
+        c = anti_affinity("storm", "hb", "upgrade_domain")
+        tc = c.tag_constraints[0]
+        assert tc.is_anti_affinity()
+        assert c.node_group == "upgrade_domain"
+
+    def test_factory_cardinality(self):
+        c = cardinality("storm", "spark", 0, 5, "rack")
+        tc = c.tag_constraints[0]
+        assert (tc.cmin, tc.cmax) == (0, 5)
+
+    def test_applies_to(self):
+        c = affinity(["appID:0023", "storm"], "hb")
+        assert c.applies_to({"appID:0023", "storm", "x"})
+        assert not c.applies_to({"storm"})
+
+    def test_satisfied_by_multiset(self):
+        c = affinity("storm", ["hb", "mem"])
+        assert c.satisfied_by_multiset(TagMultiset(["hb", "mem"]))
+        assert not c.satisfied_by_multiset(TagMultiset(["hb"]))
+
+    def test_violation_extent_multiset(self):
+        c = cardinality("s", "x", 0, 2)
+        ms = TagMultiset(["x"] * 4)
+        assert c.violation_extent(ms) == pytest.approx(1.0)
+
+    def test_empty_tag_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementConstraint(TagExpression("s"), (), "node")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            affinity("a", "b", "")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            affinity("a", "b", weight=0)
+        with pytest.raises(ValueError):
+            affinity("a", "b", weight=float("inf"))
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(ValueError):
+            affinity("a", "b", origin="martian")
+
+    def test_single_tag_constraint_coerced_to_tuple(self):
+        c = PlacementConstraint(
+            TagExpression("s"), TagConstraint("x", 0, 1), "node"
+        )
+        assert isinstance(c.tag_constraints, tuple)
+        assert len(c.tag_constraints) == 1
+
+    def test_intra_application_detection(self):
+        intra = cardinality("spark", "spark", 3, 10, "rack")
+        inter = cardinality("storm", "spark", 0, 5, "rack")
+        assert intra.is_intra_application()
+        assert not inter.is_intra_application()
+
+    def test_hashable(self):
+        assert len({affinity("a", "b"), affinity("a", "b")}) == 1
+
+    def test_hard_flag(self):
+        assert anti_affinity("a", "b", hard=True).hard
+
+
+class TestCompoundConstraint:
+    def test_dnf_structure(self):
+        c1, c2 = affinity("a", "b"), anti_affinity("a", "c")
+        comp = CompoundConstraint(((c1,), (c2,)))
+        assert len(comp.conjuncts) == 2
+        assert set(comp.all_constraints()) == {c1, c2}
+
+    def test_subjects(self):
+        comp = CompoundConstraint(((affinity("a", "b"),),))
+        assert TagExpression("a") in comp.subjects()
+
+    def test_empty_dnf_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundConstraint(())
+
+    def test_empty_conjunct_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundConstraint(((),))
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundConstraint(((affinity("a", "b"),),), weight=-1)
+
+
+class TestPaperExamples:
+    """The four worked examples of §4.2."""
+
+    def test_caf_storm_hbase_memcached(self):
+        caf = affinity("storm", ["hb", "mem"], "node")
+        assert caf.applies_to({"storm"})
+        assert caf.satisfied_by_multiset(TagMultiset(["hb", "mem", "storm"]))
+
+    def test_caa_upgrade_domain(self):
+        caa = anti_affinity("storm", "hb", "upgrade_domain")
+        assert not caa.satisfied_by_multiset(TagMultiset(["hb"]))
+        assert caa.satisfied_by_multiset(TagMultiset(["spark"]))
+
+    def test_cca_rack_spark_limit(self):
+        cca = cardinality("storm", "spark", 0, 5, "rack")
+        assert cca.satisfied_by_multiset(TagMultiset(["spark"] * 5))
+        assert not cca.satisfied_by_multiset(TagMultiset(["spark"] * 6))
+
+    def test_ccg_group_self_constraint(self):
+        ccg = cardinality("spark", "spark", 3, 10, "rack")
+        assert ccg.applies_to({"spark"})
+        assert not ccg.satisfied_by_multiset(TagMultiset(["spark"] * 2))
+        assert ccg.satisfied_by_multiset(TagMultiset(["spark"] * 5))

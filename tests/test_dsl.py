@@ -1,0 +1,115 @@
+"""Tests for the paper-notation constraint parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import UNBOUNDED, affinity, anti_affinity, cardinality
+from repro.core.dsl import (
+    ConstraintSyntaxError,
+    format_constraint,
+    parse_constraint,
+)
+
+
+class TestPaperExamples:
+    """Every worked example from §4.2, verbatim."""
+
+    def test_caf(self):
+        c = parse_constraint("{storm, {hb ∧ mem, 1, ∞}, node}")
+        assert c == affinity("storm", ["hb", "mem"], "node")
+
+    def test_caf_prime_with_app_ids(self):
+        c = parse_constraint(
+            "Caf = {appID:0023 ∧ storm, {appID:0023 ∧ hb ∧ mem, 1, ∞}, node}"
+        )
+        assert c.subject.tags == {"appID:0023", "storm"}
+        tc = c.tag_constraints[0]
+        assert tc.c_tag.tags == {"appID:0023", "hb", "mem"}
+        assert tc.cmin == 1 and tc.cmax == UNBOUNDED
+
+    def test_caa(self):
+        c = parse_constraint("{storm, {hb, 0, 0}, upgrade_domain}")
+        assert c == anti_affinity("storm", "hb", "upgrade_domain")
+
+    def test_cca(self):
+        c = parse_constraint("{storm, {spark, 0, 5}, rack}")
+        assert c == cardinality("storm", "spark", 0, 5, "rack")
+
+    def test_ccg(self):
+        c = parse_constraint("{spark, {spark, 3, 10}, rack}")
+        assert c == cardinality("spark", "spark", 3, 10, "rack")
+
+
+class TestAsciiConveniences:
+    def test_ampersand_conjunction(self):
+        c = parse_constraint("{storm, {hb & mem, 1, inf}, node}")
+        assert c == affinity("storm", ["hb", "mem"], "node")
+
+    @pytest.mark.parametrize("token", ["inf", "Infinity", "*", "∞"])
+    def test_infinity_tokens(self, token):
+        c = parse_constraint(f"{{a, {{b, 1, {token}}}, node}}")
+        assert c.tag_constraints[0].cmax == UNBOUNDED
+
+    def test_multiple_tag_constraints(self):
+        c = parse_constraint("{w, {cache, 1, inf} and {noisy, 0, 0}, node}")
+        assert len(c.tag_constraints) == 2
+        assert c.tag_constraints[0].is_affinity()
+        assert c.tag_constraints[1].is_anti_affinity()
+
+    def test_options_passed_through(self):
+        c = parse_constraint(
+            "{a, {b, 0, 0}, node}", weight=2.5, hard=True, origin="operator"
+        )
+        assert c.weight == 2.5 and c.hard and c.origin == "operator"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "storm, {hb, 1, 2}, node",        # no outer braces
+        "{storm, node}",                   # missing tag constraint
+        "{storm, {hb, 1}, node}",          # missing cmax
+        "{storm, {hb, one, 2}, node}",     # non-numeric bound
+        "{storm, {hb, inf, 2}, node}",     # infinite cmin
+        "{storm, {hb, 3, 2}, node}",       # cmin > cmax
+        "{storm, {hb, 1, 2}, }",           # empty group
+        "{, {hb, 1, 2}, node}",            # empty subject
+        "{storm, {hb, 1, 2, node}",        # unbalanced braces
+        "{a ∧ , {hb, 1, 2}, node}",        # empty conjunct
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("constraint", [
+        affinity("storm", ["hb", "mem"], "node"),
+        anti_affinity("hb_m", "hb_sec", "node"),
+        cardinality("spark", "spark", 3, 10, "rack"),
+        cardinality(["appID:7", "w"], ["appID:8", "w"], 0, 2, "upgrade_domain"),
+    ])
+    def test_format_parse_identity(self, constraint):
+        assert parse_constraint(format_constraint(constraint)) == constraint
+
+    tag = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        subject=st.sets(tag, min_size=1, max_size=3),
+        target=st.sets(tag, min_size=1, max_size=3),
+        cmin=st.integers(0, 5),
+        span=st.integers(0, 5),
+        unbounded=st.booleans(),
+    )
+    def test_round_trip_property(self, subject, target, cmin, span, unbounded):
+        from repro import PlacementConstraint, TagConstraint, TagExpression
+
+        cmax = UNBOUNDED if unbounded else cmin + span
+        constraint = PlacementConstraint(
+            TagExpression(subject),
+            (TagConstraint(TagExpression(target), cmin, cmax),),
+            "node",
+        )
+        assert parse_constraint(format_constraint(constraint)) == constraint

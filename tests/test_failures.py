@@ -1,0 +1,117 @@
+"""Tests for the unavailability trace generator and placement replay."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import ClusterState, Resource, build_cluster
+from repro.failures import (
+    TraceConfig,
+    generate_trace,
+    max_unavailability_series,
+    replay_trace,
+    su_distribution,
+)
+
+
+class TestTraceGenerator:
+    def test_shape(self):
+        trace = generate_trace(service_units=5, hours=48, seed=1)
+        assert trace.service_units == 5 and trace.hours == 48
+        assert len(trace.fractions) == 48
+        assert all(len(row) == 5 for row in trace.fractions)
+        assert all(0 <= f <= 1 for row in trace.fractions for f in row)
+
+    def test_deterministic_by_seed(self):
+        a = generate_trace(4, 24, seed=7)
+        b = generate_trace(4, 24, seed=7)
+        assert a.fractions == b.fractions
+
+    def test_baseline_mostly_below_3pct(self):
+        """Fig. 3 invariant (i): unavailability usually below 3%."""
+        trace = generate_trace(25, 15 * 24, seed=0)
+        all_values = [f for row in trace.fractions for f in row]
+        below = sum(1 for f in all_values if f <= 0.03)
+        assert below / len(all_values) > 0.8
+
+    def test_spikes_occur(self):
+        """Fig. 3 invariant (ii): spikes to 25%+ happen."""
+        trace = generate_trace(25, 15 * 24, seed=0)
+        assert any(f >= 0.25 for row in trace.fractions for f in row)
+
+    def test_units_fail_asynchronously(self):
+        """Fig. 3 invariant (iii): when one unit spikes, the total stays
+        far lower."""
+        trace = generate_trace(25, 15 * 24, seed=0)
+        for hour, row in enumerate(trace.fractions):
+            if max(row) >= 0.5:
+                assert trace.total(hour) < max(row) / 2
+                break
+        else:
+            pytest.fail("expected at least one severe spike in 15 days")
+
+    def test_total_weighted_by_sizes(self):
+        trace = generate_trace(2, 1, seed=3, unit_sizes=[90, 10])
+        expected = 0.9 * trace.fraction(0, 0) + 0.1 * trace.fraction(0, 1)
+        assert trace.total(0) == pytest.approx(expected)
+
+    def test_series_accessors(self):
+        trace = generate_trace(3, 10, seed=2)
+        assert len(trace.series_for_unit(1)) == 10
+        assert len(trace.total_series()) == 10
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            generate_trace(0, 10)
+        with pytest.raises(ValueError):
+            generate_trace(2, 10, unit_sizes=[1])
+
+
+class TestReplay:
+    def test_su_distribution(self):
+        topo = build_cluster(8, service_units=4)
+        state = ClusterState(topo)
+        # Two containers in SU0 (nodes 0-1), one in SU3 (nodes 6-7).
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/1", "n00001", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/2", "n00007", Resource(1024, 1), ("w",), "a")
+        dist = su_distribution(state, "a")
+        assert dist == {0: 2, 3: 1}
+
+    def test_su_distribution_requires_group(self):
+        state = ClusterState(build_cluster(2))  # no service_unit group
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        with pytest.raises(KeyError):
+            su_distribution(state, "a")
+
+    def test_replay_math(self):
+        trace = generate_trace(2, 2, seed=1)
+        series = replay_trace({"a": {0: 3, 1: 1}}, trace)["a"]
+        for hour in range(2):
+            expected = (3 * trace.fraction(hour, 0) + trace.fraction(hour, 1)) / 4
+            assert series[hour] == pytest.approx(expected)
+
+    def test_empty_app_rejected(self):
+        trace = generate_trace(2, 2)
+        with pytest.raises(ValueError):
+            replay_trace({"a": {}}, trace)
+
+    def test_max_series_takes_worst_app(self):
+        trace = generate_trace(2, 3, seed=5)
+        per_app = replay_trace({"a": {0: 1}, "b": {1: 1}}, trace)
+        combined = max_unavailability_series({"a": {0: 1}, "b": {1: 1}}, trace)
+        for hour in range(3):
+            assert combined[hour] == max(per_app["a"][hour], per_app["b"][hour])
+
+    def test_spread_placement_dampens_worst_case(self):
+        """The §7.3 mechanism: spreading across units lowers the max
+        unavailability CDF versus concentrating in one unit."""
+        trace = generate_trace(10, 200, seed=4)
+        spread = {f"app{i}": {su: 10 for su in range(10)} for i in range(5)}
+        concentrated = {f"app{i}": {i % 10: 100} for i in range(5)}
+        spread_series = max_unavailability_series(spread, trace)
+        conc_series = max_unavailability_series(concentrated, trace)
+        assert statistics.mean(spread_series) < statistics.mean(conc_series)
+        assert max(spread_series) <= max(conc_series)

@@ -1,0 +1,180 @@
+"""White-box tests for IlpFormulation internals (big-D bounds, slack
+normalisation, grounding bookkeeping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    Resource,
+    UNBOUNDED,
+    affinity,
+    anti_affinity,
+    build_cluster,
+    cardinality,
+)
+from repro.core.constraints import TagConstraint, TagExpression
+from repro.core.ilp import IlpFormulation, IlpWeights
+from tests.helpers import make_lra
+
+
+def formulation(requests, state, manager, **kw):
+    for request in requests:
+        manager.register_application(request)
+    f = IlpFormulation(requests, state, manager, **kw)
+    f.build()
+    return f
+
+
+def build(num_nodes=4):
+    topo = build_cluster(num_nodes, racks=2, memory_mb=8 * 1024, vcores=8)
+    return topo, ClusterState(topo), ConstraintManager(topo)
+
+
+class TestVariableCreation:
+    def test_x_vars_only_where_container_fits(self):
+        topo, state, manager = build(num_nodes=3)
+        # Fill one node completely.
+        state.allocate("bg", "n00000", Resource(8 * 1024, 8), ("task",), "bg")
+        f = formulation([make_lra("a", containers=1)], state, manager)
+        nodes_with_vars = {n for (_, _, n) in f.x_vars}
+        assert "n00000" not in nodes_with_vars
+        assert {"n00001", "n00002"} <= nodes_with_vars
+
+    def test_s_var_per_request(self):
+        _, state, manager = build()
+        f = formulation([make_lra("a"), make_lra("b")], state, manager)
+        assert len(f.s_vars) == 2
+
+    def test_z_var_per_candidate_node(self):
+        topo, state, manager = build(num_nodes=4)
+        f = formulation([make_lra("a")], state, manager)
+        assert len(f.z_vars) == 4
+
+    def test_machines_used_vars_only_when_weighted(self):
+        _, state, manager = build()
+        f = formulation([make_lra("a")], state, manager)
+        assert f.u_vars == {}
+        _, state2, manager2 = build()
+        f2 = formulation(
+            [make_lra("b")], state2, manager2,
+            weights=IlpWeights(w4_machines=0.5),
+        )
+        assert f2.u_vars
+
+
+class TestBigD:
+    def test_dominates_cmin(self):
+        _, state, manager = build()
+        req = make_lra("a", containers=2, tags={"w"},
+                       constraints=[cardinality("w", "w", 5, UNBOUNDED, "node")])
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        tc = req.constraints[0].tag_constraints[0]
+        assert f._big_d(tc, constant=0) >= tc.cmin
+
+    def test_dominates_max_gamma_minus_cmax(self):
+        _, state, manager = build()
+        # 6 matching new containers against cmax=1.
+        req = make_lra("a", containers=6, tags={"w"},
+                       constraints=[cardinality("w", "w", 0, 1, "node")])
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        tc = req.constraints[0].tag_constraints[0]
+        assert f._big_d(tc, constant=0) >= 6 - tc.cmax
+
+
+class TestSlackNormalisation:
+    def test_cmax_positive_uses_inverse_cmax(self):
+        _, state, manager = build()
+        req = make_lra("a", containers=2, tags={"w"})
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        tc = TagConstraint(TagExpression("w"), 0, 4)
+        assert f._max_slack_norm(tc) == pytest.approx(0.25)
+
+    def test_anti_affinity_normalised_by_pool(self):
+        """cmax=0 divides by the worst possible slack, keeping one fully
+        violated constraint's objective contribution in [0, 1]."""
+        _, state, manager = build()
+        req = make_lra("a", containers=4, tags={"w"})
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        tc = TagConstraint(TagExpression("w"), 0, 0)
+        # 4 matching containers -> worst slack = 3 others.
+        assert f._max_slack_norm(tc) == pytest.approx(1 / 3)
+
+    def test_existing_containers_count_toward_pool(self):
+        _, state, manager = build()
+        state.allocate("e1", "n00000", Resource(1024, 1), ("w",), "x")
+        state.allocate("e2", "n00001", Resource(1024, 1), ("w",), "x")
+        req = make_lra("a", containers=2, tags={"w"})
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        tc = TagConstraint(TagExpression("w"), 0, 0)
+        assert f._max_slack_norm(tc) == pytest.approx(1 / 3)  # pool 4 - 1
+
+
+class TestGroundingBookkeeping:
+    def test_constraints_deduplicated(self):
+        """Identical constraints from several apps ground once."""
+        _, state, manager = build()
+        shared = cardinality("w", "w", 0, 1, "node")
+        a = make_lra("a", containers=2, tags={"w"}, constraints=[shared])
+        b = make_lra("b", containers=2, tags={"w"}, constraints=[shared])
+        manager.register_application(a)
+        manager.register_application(b)
+        f = IlpFormulation([a, b], state, manager)
+        assert f._active_constraints().count(shared) == 1
+
+    def test_irrelevant_deployed_rows_skipped(self):
+        """Deployed-subject inequalities that no new variable can influence
+        are not grounded (they would only dilute the objective)."""
+        topo, state, manager = build()
+        old = make_lra(
+            "old", containers=2, tags={"legacy"},
+            constraints=[affinity(["appID:old", "legacy"],
+                                  ["appID:old", "legacy"], "rack")],
+        )
+        manager.register_application(old)
+        state.allocate("old/c0", "n00000", Resource(1024, 1),
+                       ("legacy", "appID:old"), "old")
+        state.allocate("old/c1", "n00002", Resource(1024, 1),
+                       ("legacy", "appID:old"), "old")
+        # The new app shares no tags with 'old'.
+        new = make_lra("new", containers=2, tags={"fresh"})
+        manager.register_application(new)
+        f = IlpFormulation([new], state, manager)
+        f.build()
+        # No slack variables should reference the legacy constraint.
+        legacy = [entry for entry in f._slack_vars
+                  if "legacy" in repr(entry[0])]
+        assert legacy == []
+
+    def test_relevant_deployed_rows_grounded(self):
+        topo, state, manager = build()
+        old = make_lra(
+            "old", containers=1, tags={"quiet"},
+            constraints=[anti_affinity("quiet", "noisy", "node")],
+        )
+        manager.register_application(old)
+        state.allocate("old/c0", "n00000", Resource(1024, 1),
+                       ("quiet", "appID:old"), "old")
+        new = make_lra("new", containers=1, tags={"noisy"})
+        manager.register_application(new)
+        f = IlpFormulation([new], state, manager)
+        f.build()
+        assert any("dep[" in entry[1] for entry in f._slack_vars)
+
+    def test_build_idempotent(self):
+        _, state, manager = build()
+        req = make_lra("a")
+        manager.register_application(req)
+        f = IlpFormulation([req], state, manager)
+        model1 = f.build()
+        n_vars = model1.num_variables
+        model2 = f.build()
+        assert model2 is model1
+        assert model2.num_variables == n_vars

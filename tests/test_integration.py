@@ -1,0 +1,182 @@
+"""Cross-module integration tests: the whole system working together.
+
+Each test here exercises a realistic pipeline spanning several subpackages
+(apps + core + sim + taskscheduler + perf + failures + metrics), the way
+the benchmark harness and a downstream user would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CapacityScheduler,
+    ClusterState,
+    ConstraintManager,
+    IlpScheduler,
+    MigrationPlanner,
+    Resource,
+    SerialScheduler,
+    TaskRequest,
+    build_cluster,
+    evaluate_violations,
+)
+from repro.apps import hbase_instance, memcached_instance, storm_instance, tensorflow_instance
+from repro.failures import generate_trace, max_unavailability_series, su_distribution
+from repro.perf import extract_features, iterative_runtime, serving_throughput
+from repro.sim import ClusterSimulation, SimConfig
+from repro.workloads import GridMixConfig, fill_cluster, generate_tasks
+
+
+class TestFullSimulationPipeline:
+    def test_mixed_workload_end_to_end(self):
+        """LRAs and tasks through the two-scheduler simulation: everything
+        placed, no constraint violations, tasks complete and free memory."""
+        topology = build_cluster(30, racks=3, memory_mb=16 * 1024, vcores=8)
+        sim = ClusterSimulation(
+            topology,
+            IlpScheduler(max_candidate_nodes=30, time_limit_s=5.0, mip_rel_gap=0.02),
+            config=SimConfig(scheduling_interval_s=5.0, horizon_s=60.0),
+        )
+        sim.submit_lra(hbase_instance("hb", region_servers=6, max_rs_per_node=2), at=1.0)
+        sim.submit_lra(tensorflow_instance("tf", workers=4, max_workers_per_node=2), at=6.0)
+        for arrival, task in generate_tasks(GridMixConfig(seed=3), count=40):
+            sim.submit_task(task, at=arrival)
+        sim.run(60.0)
+
+        assert len(sim.lra_latencies()) == 2
+        report = evaluate_violations(sim.state, manager=sim.medea.manager)
+        assert report.violating_containers == 0
+        assert len(sim.task_latencies()) == 40
+        # HBase (9 containers) + TF (7 containers) still running.
+        lra_containers = [
+            c for c in sim.state.containers.values() if c.allocation.long_running
+        ]
+        assert len(lra_containers) == 9 + 7
+
+    def test_lra_teardown_frees_cluster(self):
+        topology = build_cluster(10, memory_mb=16 * 1024, vcores=8)
+        sim = ClusterSimulation(
+            topology, SerialScheduler(),
+            config=SimConfig(scheduling_interval_s=5.0, horizon_s=60.0),
+        )
+        sim.submit_lra(
+            hbase_instance("hb", region_servers=4, max_rs_per_node=2),
+            at=1.0, duration_s=20.0,
+        )
+        sim.run(60.0)
+        assert len(sim.state.containers) == 0
+        assert sim.medea.manager.constraints_of("hb") == []
+
+
+class TestPlacementToPerformance:
+    def test_storm_memcached_affinity_improves_modelled_latency(self):
+        """§2.2 pipeline: intra-inter placement measurably beats YARN-ish."""
+        from repro.perf import LatencyModel, lookup_distance_classes, sample_lookup_latencies
+
+        def mean_latency(policy, scheduler):
+            topo = build_cluster(30, racks=3, memory_mb=16 * 1024, vcores=8)
+            state = ClusterState(topo)
+            manager = ConstraintManager(topo)
+            mem = memcached_instance("mc")
+            storm = storm_instance("st", placement=policy)
+            for request in (mem, storm):
+                manager.register_application(request)
+            result = scheduler.place([mem, storm], state, manager)
+            for p in result.placements:
+                state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+            classes = lookup_distance_classes(state, "st", "mc")
+            samples = sample_lookup_latencies(classes, LatencyModel(samples_per_pair=300))
+            return sum(samples) / len(samples)
+
+        collocated = mean_latency("intra-inter", IlpScheduler())
+        from repro import ConstraintUnawareScheduler
+
+        unconstrained = mean_latency("none", ConstraintUnawareScheduler(seed=5))
+        assert collocated < unconstrained
+
+    def test_constrained_placement_improves_modelled_throughput(self):
+        def deploy(constrained):
+            # 12 region servers on 12 nodes: a random placer necessarily
+            # collocates some, anti-affinity spreads one per node.
+            topo = build_cluster(12, racks=3, memory_mb=32 * 1024, vcores=16)
+            state = ClusterState(topo)
+            manager = ConstraintManager(topo)
+            fill_cluster(state, 0.5)
+            # rack_affinity off: the §2.2 anti-affinity study spreads
+            # region servers; a 4-node rack cannot hold 12 spread RS.
+            request = hbase_instance(
+                "hb", region_servers=12, max_rs_per_node=1, with_aux=False,
+                rack_affinity=False, constraints_enabled=constrained,
+            )
+            manager.register_application(request)
+            scheduler = (
+                IlpScheduler() if constrained
+                else __import__("repro").ConstraintUnawareScheduler(seed=9)
+            )
+            result = scheduler.place([request], state, manager)
+            for p in result.placements:
+                state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+            return serving_throughput(60.0, extract_features(state, "hb", "hb_rs"))
+
+        assert deploy(True) > deploy(False)
+
+
+class TestResiliencePipeline:
+    def test_placement_to_unavailability(self):
+        topology = build_cluster(
+            25, racks=5, memory_mb=16 * 1024, vcores=8, service_units=5
+        )
+        state = ClusterState(topology)
+        manager = ConstraintManager(topology)
+        from repro import cardinality
+        from repro.apps import worker_containers
+        from repro.core.requests import LRARequest
+        from repro.tags import app_id_tag
+
+        app_id = "svc"
+        request = LRARequest(
+            app_id,
+            worker_containers(app_id, "w", "svc", 10, Resource(2048, 1)),
+            [cardinality(
+                (app_id_tag(app_id), "w"), (app_id_tag(app_id), "w"),
+                0, 1, "service_unit",
+            )],
+        )
+        manager.register_application(request)
+        result = IlpScheduler().place([request], state, manager)
+        for p in result.placements:
+            state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
+        distribution = su_distribution(state, app_id)
+        assert max(distribution.values()) <= 2
+        trace = generate_trace(5, 48, seed=3)
+        series = max_unavailability_series({app_id: distribution}, trace)
+        assert len(series) == 48
+        assert all(0 <= v <= 1 for v in series)
+
+
+class TestMigrationPipeline:
+    def test_repair_after_churn(self):
+        """Place well, disturb the cluster, migrate back to health."""
+        topo = build_cluster(8, memory_mb=16 * 1024, vcores=8)
+        state = ClusterState(topo)
+        manager = ConstraintManager(topo)
+        from repro import anti_affinity
+        from tests.helpers import make_lra
+
+        request = make_lra(
+            "app", containers=3, tags={"w"},
+            constraints=[anti_affinity("w", "w", "node")],
+        )
+        manager.register_application(request)
+        # A deliberately bad initial placement (operator error / drift).
+        for i in range(3):
+            state.allocate(f"app/c{i}", "n00000", Resource(1024, 1),
+                           ("w", "appID:app"), "app")
+        before = evaluate_violations(state, manager=manager)
+        assert before.violating_containers == 3
+        planner = MigrationPlanner(migration_cost=0.1)
+        plan = planner.plan(state, manager)
+        planner.apply(state, plan)
+        after = evaluate_violations(state, manager=manager)
+        assert after.violating_containers == 0

@@ -1,0 +1,124 @@
+"""Tests for the §5.4 container-migration extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    Resource,
+    affinity,
+    anti_affinity,
+    build_cluster,
+    evaluate_violations,
+)
+from repro.core.migration import Migration, MigrationPlan, MigrationPlanner
+from tests.helpers import make_lra
+
+
+def build(num_nodes=6):
+    topo = build_cluster(num_nodes, racks=2, memory_mb=8 * 1024, vcores=8)
+    return ClusterState(topo), ConstraintManager(topo)
+
+
+class TestPlanner:
+    def test_repairs_anti_affinity_violation(self):
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", constraints=[anti_affinity("w", "w", "node")])
+        )
+        # Bad placement: both workers on one node.
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/1", "n00000", Resource(1024, 1), ("w",), "a")
+        planner = MigrationPlanner()
+        plan = planner.plan(state, manager)
+        assert len(plan) == 1
+        move = plan.moves[0]
+        assert move.from_node == "n00000"
+        assert move.to_node != "n00000"
+        assert move.extent_gain > 0
+        # Planning must not mutate the state.
+        assert state.container("a/0").node_id == "n00000"
+        assert state.container("a/1").node_id == "n00000"
+
+    def test_apply_executes_moves(self):
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", constraints=[anti_affinity("w", "w", "node")])
+        )
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/1", "n00000", Resource(1024, 1), ("w",), "a")
+        planner = MigrationPlanner()
+        plan = planner.plan(state, manager)
+        planner.apply(state, plan)
+        report = evaluate_violations(state, manager=manager)
+        assert report.violating_containers == 0
+
+    def test_no_moves_when_clean(self):
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", constraints=[anti_affinity("w", "w", "node")])
+        )
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/1", "n00001", Resource(1024, 1), ("w",), "a")
+        assert len(MigrationPlanner().plan(state, manager)) == 0
+
+    def test_migration_cost_gates_marginal_moves(self):
+        """A gain below the migration cost must not trigger a move."""
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", constraints=[anti_affinity("w", "w", "node")])
+        )
+        state.allocate("a/0", "n00000", Resource(1024, 1), ("w",), "a")
+        state.allocate("a/1", "n00000", Resource(1024, 1), ("w",), "a")
+        expensive = MigrationPlanner(migration_cost=10.0)
+        assert len(expensive.plan(state, manager)) == 0
+
+    def test_max_moves_limits_churn(self):
+        state, manager = build(num_nodes=10)
+        manager.register_application(
+            make_lra("a", containers=6, constraints=[anti_affinity("w", "w", "node")])
+        )
+        for i in range(6):
+            state.allocate(f"a/{i}", "n00000", Resource(512, 1), ("w",), "a")
+        plan = MigrationPlanner(max_moves=2).plan(state, manager)
+        assert len(plan) <= 2
+
+    def test_affinity_repair_moves_toward_target(self):
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", containers=1, tags={"w"},
+                     constraints=[affinity("w", "cache", "node")])
+        )
+        state.allocate("cache/0", "n00003", Resource(1024, 1), ("cache",), "c")
+        state.allocate("a/0", "n00000", Resource(1024, 1),
+                       ("w", "appID:a"), "a")
+        planner = MigrationPlanner()
+        plan = planner.plan(state, manager)
+        assert len(plan) == 1
+        assert plan.moves[0].to_node == "n00003"
+
+    def test_total_gain(self):
+        plan = MigrationPlan([
+            Migration("c1", "a", "b", 1.0),
+            Migration("c2", "a", "b", 0.5),
+        ])
+        assert plan.total_gain == pytest.approx(1.5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MigrationPlanner(migration_cost=-1)
+        with pytest.raises(ValueError):
+            MigrationPlanner(max_moves=0)
+
+    def test_short_running_containers_not_migrated(self):
+        state, manager = build()
+        manager.register_application(
+            make_lra("a", constraints=[anti_affinity("task", "task", "node")])
+        )
+        state.allocate("t/0", "n00000", Resource(1024, 1), ("task",), "bg",
+                       long_running=False)
+        state.allocate("t/1", "n00000", Resource(1024, 1), ("task",), "bg",
+                       long_running=False)
+        assert len(MigrationPlanner().plan(state, manager)) == 0

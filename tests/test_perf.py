@@ -1,0 +1,217 @@
+"""Tests for the placement→performance model (calibration invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterState, Resource, build_cluster
+from repro.perf import (
+    ITERATIVE_PARAMS,
+    SERVING_PARAMS,
+    LatencyModel,
+    extract_features,
+    iterative_runtime,
+    lookup_distance_classes,
+    sample_lookup_latencies,
+    serving_runtime,
+    serving_throughput,
+    tail_latency_factor,
+    worker_slowdowns,
+)
+from repro.perf.features import PlacementFeatures
+
+
+def make_features(
+    workers_per_node: dict[str, int],
+    *,
+    external: dict[str, float] | None = None,
+    racks: int = 1,
+    cluster_util: float = 0.0,
+    class_counts: dict[str, int] | None = None,
+) -> PlacementFeatures:
+    return PlacementFeatures(
+        app_id="app",
+        workers_per_node=workers_per_node,
+        class_workers_per_node=class_counts or dict(workers_per_node),
+        external_util=external or {n: 0.0 for n in workers_per_node},
+        distinct_nodes=len(workers_per_node),
+        distinct_racks=racks,
+        total_workers=sum(workers_per_node.values()),
+        cluster_util=cluster_util,
+    )
+
+
+def spread(workers: int, per_node: int, **kw) -> PlacementFeatures:
+    nodes = {}
+    remaining = workers
+    i = 0
+    while remaining > 0:
+        take = min(per_node, remaining)
+        nodes[f"n{i}"] = take
+        remaining -= take
+        i += 1
+    return make_features(nodes, **kw)
+
+
+class TestFeatureExtraction:
+    def test_extracts_collocation_and_external(self):
+        topo = build_cluster(2, racks=2, memory_mb=16 * 1024)
+        state = ClusterState(topo)
+        state.allocate("a/w0", "n00000", Resource(2048, 1), ("tf", "tf_w"), "a")
+        state.allocate("a/w1", "n00000", Resource(2048, 1), ("tf", "tf_w"), "a")
+        state.allocate("a/w2", "n00001", Resource(2048, 1), ("tf", "tf_w"), "a")
+        state.allocate("b/w0", "n00000", Resource(2048, 1), ("tf", "tf_w"), "b")
+        state.allocate("bg", "n00001", Resource(4096, 1), ("task",), "bg")
+        feats = extract_features(state, "a", "tf_w")
+        assert feats.workers_per_node == {"n00000": 2, "n00001": 1}
+        assert feats.class_workers_per_node["n00000"] == 3  # b's worker counts
+        assert feats.external_util["n00001"] == pytest.approx(4096 / 16384)
+        assert feats.distinct_racks == 2
+        assert feats.max_collocation() == 3
+
+    def test_empty_app(self):
+        state = ClusterState(build_cluster(2))
+        feats = extract_features(state, "ghost", "w")
+        assert feats.total_workers == 0
+        assert worker_slowdowns(feats, ITERATIVE_PARAMS) == [1.0]
+
+
+class TestSlowdownModel:
+    def test_isolated_worker_is_baseline(self):
+        feats = spread(1, 1)
+        assert worker_slowdowns(feats, ITERATIVE_PARAMS) == [1.0]
+
+    def test_collocation_monotone(self):
+        """More collocation (same spread direction) never speeds you up."""
+        prev = 0.0
+        for per_node in (1, 2, 4, 8):
+            feats = spread(8, per_node)
+            worst = max(worker_slowdowns(feats, ITERATIVE_PARAMS))
+            assert worst >= prev
+            prev = worst
+
+    def test_external_util_slows(self):
+        clean = spread(4, 2)
+        dirty = spread(4, 2, external={"n0": 0.7, "n1": 0.7})
+        assert max(worker_slowdowns(dirty, ITERATIVE_PARAMS)) > max(
+            worker_slowdowns(clean, ITERATIVE_PARAMS)
+        )
+
+    def test_cgroups_reduce_but_keep_interference(self):
+        feats = spread(8, 8, external={"n0": 0.5})
+        raw = max(worker_slowdowns(feats, ITERATIVE_PARAMS))
+        isolated = max(worker_slowdowns(feats, ITERATIVE_PARAMS, cgroups=True))
+        assert 1.0 < isolated < raw
+
+    def test_steep_regime_beyond_core_budget(self):
+        """Crossing the core budget costs more per worker than before it."""
+        params = ITERATIVE_PARAMS
+        below = max(worker_slowdowns(spread(16, 16), params))
+        above = max(worker_slowdowns(spread(32, 32), params))
+        per_worker_below = (below - 1) / 15
+        per_worker_above = (above - 1) / 31
+        assert per_worker_above > per_worker_below
+
+
+class TestCardinalitySweetSpot:
+    """The Fig. 2d calibration targets."""
+
+    def runtime_at(self, cardinality: int, util: float) -> float:
+        feats = spread(
+            32, cardinality,
+            external={f"n{i}": util for i in range(32)},
+            cluster_util=util,
+        )
+        return iterative_runtime(100.0, feats)
+
+    def test_interior_optimum_high_util(self):
+        """At 70% utilisation, 16-per-node beats both extremes."""
+        r1 = self.runtime_at(1, 0.7)
+        r16 = self.runtime_at(16, 0.7)
+        r32 = self.runtime_at(32, 0.7)
+        assert r16 < r1 and r16 < r32
+
+    def test_paper_ratios_high_util(self):
+        """~42% faster than full affinity, ~34% faster than anti-affinity."""
+        r1, r16, r32 = (self.runtime_at(k, 0.7) for k in (1, 16, 32))
+        assert r16 / r32 == pytest.approx(0.58, abs=0.12)
+        assert r16 / r1 == pytest.approx(0.66, abs=0.12)
+
+    def test_optimum_shifts_down_at_low_util(self):
+        """At 5% utilisation the optimum moves to ~4 per node."""
+        runtimes = {k: self.runtime_at(k, 0.05) for k in (1, 4, 8, 16, 32)}
+        best = min(runtimes, key=runtimes.get)
+        assert best in (4, 8)
+        assert runtimes[4] < runtimes[1]
+        assert runtimes[4] < runtimes[16]
+
+    def test_optimum_depends_on_load(self):
+        """The optimal cardinality differs between load levels — the paper's
+        key observation motivating cardinality constraints."""
+        best_low = min((1, 4, 8, 16, 32), key=lambda k: self.runtime_at(k, 0.05))
+        best_high = min((1, 4, 8, 16, 32), key=lambda k: self.runtime_at(k, 0.7))
+        assert best_high > best_low
+
+
+class TestServingModel:
+    def test_anti_affinity_beats_collocation(self):
+        """Fig. 2b: collocated region servers lose ~34% throughput."""
+        solo = spread(10, 1, external={f"n{i}": 0.6 for i in range(10)})
+        packed = spread(10, 3, external={f"n{i}": 0.6 for i in range(4)})
+        t_solo = serving_throughput(100.0, solo)
+        t_packed = serving_throughput(100.0, packed)
+        assert t_packed < t_solo
+        assert t_packed / t_solo == pytest.approx(0.66, abs=0.15)
+
+    def test_cgroups_recover_part_of_loss(self):
+        packed = spread(10, 3, external={f"n{i}": 0.6 for i in range(4)})
+        raw = serving_throughput(100.0, packed)
+        iso = serving_throughput(100.0, packed, cgroups=True)
+        solo = serving_throughput(100.0, spread(10, 1, external={f"n{i}": 0.6 for i in range(10)}))
+        assert raw < iso < solo
+
+    def test_tail_latency_inflation(self):
+        """p99 inflation reaches ~3.9x for heavy collocation (Fig. 2b text)."""
+        packed = spread(10, 3, external={f"n{i}": 0.6 for i in range(4)})
+        factor = tail_latency_factor(packed)
+        assert 2.0 < factor < 6.0
+
+    def test_serving_runtime_inverse_of_throughput(self):
+        good = spread(10, 1)
+        bad = spread(10, 5)
+        assert serving_runtime(100.0, bad) > serving_runtime(100.0, good)
+
+
+class TestLatencyModel:
+    def make_state(self):
+        topo = build_cluster(4, racks=2, memory_mb=16 * 1024)
+        return ClusterState(topo)
+
+    def test_distance_classes(self):
+        state = self.make_state()
+        state.allocate("st/0", "n00000", Resource(1024, 1), ("storm",), "st")
+        state.allocate("st/1", "n00002", Resource(1024, 1), ("storm",), "st")  # same rack
+        state.allocate("st/2", "n00001", Resource(1024, 1), ("storm",), "st")  # other rack
+        state.allocate("mc/0", "n00000", Resource(1024, 1), ("mem",), "mc")
+        classes = lookup_distance_classes(state, "st", "mc")
+        assert sorted(classes) == ["node", "rack", "remote"]
+
+    def test_unplaced_app_rejected(self):
+        state = self.make_state()
+        with pytest.raises(ValueError):
+            lookup_distance_classes(state, "st", "mc")
+
+    def test_latency_ordering(self):
+        """Mean sampled latency: node < rack < remote, ~4.6x node->rack."""
+        def mean(cls):
+            samples = sample_lookup_latencies([cls], LatencyModel(samples_per_pair=4000))
+            return sum(samples) / len(samples)
+
+        node, rack, remote = mean("node"), mean("rack"), mean("remote")
+        assert node < rack < remote
+        assert rack / node == pytest.approx(4.6, rel=0.3)
+
+    def test_sampling_deterministic_by_seed(self):
+        a = sample_lookup_latencies(["node"], LatencyModel(seed=3))
+        b = sample_lookup_latencies(["node"], LatencyModel(seed=3))
+        assert a == b

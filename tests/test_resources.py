@@ -1,0 +1,128 @@
+"""Unit tests for the Resource vector."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Resource
+from repro.cluster.resources import ZERO
+
+resources = st.builds(
+    Resource,
+    memory_mb=st.integers(min_value=0, max_value=1 << 20),
+    vcores=st.integers(min_value=0, max_value=256),
+)
+
+
+class TestConstruction:
+    def test_fields(self):
+        r = Resource(2048, 2)
+        assert r.memory_mb == 2048
+        assert r.vcores == 2
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1, 0)
+
+    def test_negative_vcores_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(0, -5)
+
+    def test_zero_constant(self):
+        assert ZERO.is_zero()
+        assert not Resource(1, 0).is_zero()
+
+    def test_immutable(self):
+        r = Resource(1, 1)
+        with pytest.raises(AttributeError):
+            r.memory_mb = 5  # type: ignore[misc]
+
+    def test_str(self):
+        assert str(Resource(1024, 2)) == "<1024MB, 2c>"
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Resource(1, 2) + Resource(3, 4) == Resource(4, 6)
+
+    def test_sub(self):
+        assert Resource(10, 5) - Resource(4, 2) == Resource(6, 3)
+
+    def test_sub_clamps_at_zero(self):
+        assert Resource(2, 1) - Resource(5, 9) == ZERO
+
+    def test_sub_clamps_per_dimension(self):
+        assert Resource(10, 1) - Resource(4, 3) == Resource(6, 0)
+
+    def test_mul(self):
+        assert Resource(100, 2) * 3 == Resource(300, 6)
+
+    def test_rmul(self):
+        assert 2 * Resource(100, 2) == Resource(200, 4)
+
+    def test_mul_fraction_truncates(self):
+        assert Resource(100, 3) * 0.5 == Resource(50, 1)
+
+    def test_mul_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1, 1) * -2
+
+    @given(a=resources, b=resources)
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(a=resources, b=resources)
+    def test_sub_never_negative(self, a, b):
+        result = a - b
+        assert result.memory_mb >= 0 and result.vcores >= 0
+
+    @given(a=resources, b=resources)
+    def test_add_then_sub_is_identity(self, a, b):
+        assert (a + b) - b == a
+
+
+class TestComparison:
+    def test_fits_true(self):
+        assert Resource(1, 1).fits(Resource(2, 2))
+
+    def test_fits_exact(self):
+        assert Resource(2, 2).fits(Resource(2, 2))
+
+    def test_fits_false_memory(self):
+        assert not Resource(3, 1).fits(Resource(2, 2))
+
+    def test_fits_false_vcores(self):
+        assert not Resource(1, 3).fits(Resource(2, 2))
+
+    def test_dominates(self):
+        assert Resource(4, 4).dominates(Resource(3, 4))
+        assert not Resource(4, 4).dominates(Resource(5, 1))
+
+    @given(a=resources, b=resources)
+    def test_fits_iff_dominated(self, a, b):
+        assert a.fits(b) == b.dominates(a)
+
+    @given(a=resources)
+    def test_zero_fits_everything(self, a):
+        assert ZERO.fits(a)
+
+
+class TestProjections:
+    def test_scalar_is_memory(self):
+        assert Resource(4096, 2).scalar() == 4096.0
+
+    def test_dominant_share_memory_bound(self):
+        total = Resource(100, 100)
+        assert Resource(50, 10).dominant_share(total) == pytest.approx(0.5)
+
+    def test_dominant_share_cpu_bound(self):
+        total = Resource(100, 100)
+        assert Resource(10, 80).dominant_share(total) == pytest.approx(0.8)
+
+    def test_dominant_share_zero_total(self):
+        assert Resource(5, 5).dominant_share(ZERO) == 0.0
+
+    def test_iter_unpacks(self):
+        mem, cpu = Resource(7, 3)
+        assert (mem, cpu) == (7, 3)

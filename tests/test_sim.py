@@ -1,0 +1,151 @@
+"""Tests for the discrete-event engine and the cluster simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Resource, SerialScheduler, TaskRequest, build_cluster
+from repro.sim import ClusterSimulation, SimConfig, SimulationEngine
+from tests.helpers import make_lra
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda e: fired.append(5))
+        engine.schedule_at(1.0, lambda e: fired.append(1))
+        engine.schedule_at(3.0, lambda e: fired.append(3))
+        engine.run()
+        assert fired == [1, 3, 5]
+
+    def test_fifo_among_simultaneous(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda e: fired.append("a"))
+        engine.schedule_at(1.0, lambda e: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b"]
+
+    def test_schedule_in(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_in(2.0, lambda e: seen.append(e.now))
+        engine.run()
+        assert seen == [2.0]
+
+    def test_past_scheduling_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda e: e.schedule_at(1.0, lambda _: None))
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_in(-1, lambda e: None)
+
+    def test_run_until_stops_clock(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda e: fired.append(5))
+        engine.schedule_at(15.0, lambda e: fired.append(15))
+        end = engine.run(until=10.0)
+        assert fired == [5] and end == 10.0
+        engine.run()
+        assert fired == [5, 15]
+
+    def test_cancellation(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda e: fired.append(1))
+        engine.cancel(event)
+        engine.run()
+        assert fired == []
+        assert engine.pending() == 0
+
+    def test_periodic(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(2.0, lambda e: ticks.append(e.now), until=7.0)
+        engine.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_bad_interval(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_periodic(0, lambda e: None)
+
+    def test_step(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(1.0, lambda e: fired.append(1))
+        assert engine.step() is True
+        assert engine.step() is False
+
+    @settings(max_examples=20, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e6), max_size=25))
+    def test_arbitrary_schedules_fire_sorted(self, times):
+        engine = SimulationEngine()
+        fired = []
+        for t in times:
+            engine.schedule_at(t, lambda e, t=t: fired.append(t))
+        engine.run()
+        assert fired == sorted(fired)
+
+
+class TestClusterSimulation:
+    def make_sim(self, **kw):
+        topo = build_cluster(4, racks=2, memory_mb=8 * 1024, vcores=8)
+        config = SimConfig(scheduling_interval_s=5.0, horizon_s=100.0)
+        return ClusterSimulation(topo, SerialScheduler(), config=config, **kw)
+
+    def test_lra_placed_at_next_cycle(self):
+        sim = self.make_sim()
+        sim.submit_lra(make_lra("a", containers=2), at=1.0)
+        sim.run(20.0)
+        assert len(sim.state.containers_of_app("a")) == 2
+        assert sim.lra_latencies() == [pytest.approx(4.0)]
+
+    def test_task_lifecycle_frees_resources(self):
+        sim = self.make_sim()
+        sim.submit_task(
+            TaskRequest("t1", "app", Resource(1024, 1), duration_s=3.0), at=0.5
+        )
+        sim.run(1.5)
+        assert "t1" in sim.state.containers
+        sim.run(10.0)
+        assert "t1" not in sim.state.containers
+        assert sim.task_latencies() == [pytest.approx(0.5)]
+
+    def test_lra_teardown_after_duration(self):
+        sim = self.make_sim()
+        sim.submit_lra(make_lra("a", containers=2), at=1.0, duration_s=10.0)
+        sim.run(10.0)
+        assert len(sim.state.containers_of_app("a")) == 2
+        sim.run(30.0)
+        assert len(sim.state.containers_of_app("a")) == 0
+
+    def test_node_availability_flips(self):
+        sim = self.make_sim()
+        sim.set_node_availability("n00000", False, at=2.0)
+        sim.set_node_availability("n00000", True, at=4.0)
+        sim.run(3.0)
+        assert not sim.state.topology.node("n00000").available
+        sim.run(5.0)
+        assert sim.state.topology.node("n00000").available
+
+    def test_cycle_observer_called(self):
+        sim = self.make_sim()
+        calls = []
+        sim.cycle_observers.append(lambda s, r: calls.append(len(r)))
+        sim.submit_lra(make_lra("a", containers=2), at=1.0)
+        sim.run(11.0)
+        assert calls and calls[0] == 2
+
+    def test_foreign_task_scheduler_rejected(self):
+        from repro import CapacityScheduler, ClusterState
+
+        topo = build_cluster(2)
+        foreign = CapacityScheduler(ClusterState(build_cluster(2)))
+        with pytest.raises(ValueError):
+            ClusterSimulation(topo, SerialScheduler(), task_scheduler=foreign)

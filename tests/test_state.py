@@ -1,0 +1,222 @@
+"""Unit tests for ClusterState: allocations, γ bookkeeping, constraint checks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ClusterState,
+    Resource,
+    affinity,
+    anti_affinity,
+    build_cluster,
+    cardinality,
+)
+
+
+def put(state, cid, node, tags=("w",), mem=1024, app="a1", long_running=True):
+    return state.allocate(
+        cid, node, Resource(mem, 1), tags, app, long_running=long_running
+    )
+
+
+class TestAllocationLifecycle:
+    def test_allocate_and_release(self, state):
+        put(state, "c1", "n00000")
+        assert "c1" in state.containers
+        assert state.free_resources("n00000") == Resource(15 * 1024, 7)
+        state.release("c1")
+        assert "c1" not in state.containers
+        assert state.free_resources("n00000") == Resource(16 * 1024, 8)
+
+    def test_duplicate_id_rejected(self, state):
+        put(state, "c1", "n00000")
+        with pytest.raises(ValueError):
+            put(state, "c1", "n00001")
+
+    def test_release_unknown_rejected(self, state):
+        with pytest.raises(KeyError):
+            state.release("ghost")
+
+    def test_release_application(self, state):
+        put(state, "c1", "n00000", app="appA")
+        put(state, "c2", "n00001", app="appA")
+        put(state, "c3", "n00002", app="appB")
+        victims = state.release_application("appA")
+        assert len(victims) == 2
+        assert set(state.containers) == {"c3"}
+
+    def test_containers_of_app(self, state):
+        put(state, "c1", "n00000", app="appA")
+        put(state, "c2", "n00001", app="appB")
+        assert [c.container_id for c in state.containers_of_app("appA")] == ["c1"]
+
+    def test_total_free_excludes_unavailable(self, state):
+        before = state.total_free()
+        state.topology.node("n00000").available = False
+        after = state.total_free()
+        assert after.memory_mb == before.memory_mb - 16 * 1024
+
+
+class TestGammaBookkeeping:
+    def test_node_group_counts(self, state):
+        put(state, "c1", "n00000", tags=("hb", "hb_m"))
+        put(state, "c2", "n00000", tags=("hb", "hb_rs"))
+        idx = state.group_sets_for_node("node", "n00000")[0]
+        assert state.group_tag_count("node", idx, "hb") == 2
+        assert state.group_tag_count("node", idx, "hb_m") == 1
+
+    def test_rack_group_counts(self, state):
+        # n00000 and n00002 are both on rack-0 (stripe across 2 racks).
+        put(state, "c1", "n00000", tags=("hb",))
+        put(state, "c2", "n00002", tags=("hb",))
+        rack_idx = state.group_sets_for_node("rack", "n00000")[0]
+        assert state.group_tag_count("rack", rack_idx, "hb") == 2
+
+    def test_release_decrements(self, state):
+        put(state, "c1", "n00000", tags=("hb",))
+        state.release("c1")
+        idx = state.group_sets_for_node("node", "n00000")[0]
+        assert state.group_tag_count("node", idx, "hb") == 0
+
+    def test_gamma_conjunction_min(self, state):
+        put(state, "c1", "n00000", tags=("hb", "mem"))
+        put(state, "c2", "n00000", tags=("hb",))
+        idx = state.group_sets_for_node("node", "n00000")[0]
+        assert state.gamma("node", idx, ["hb"]) == 2
+        assert state.gamma("node", idx, ["hb", "mem"]) == 1
+
+    def test_gamma_exclusion(self, state):
+        put(state, "c1", "n00000", tags=("hb",))
+        put(state, "c2", "n00000", tags=("hb",))
+        idx = state.group_sets_for_node("node", "n00000")[0]
+        assert state.gamma("node", idx, ["hb"], exclude=["hb"]) == 1
+
+    def test_gamma_never_negative(self, state):
+        idx = state.group_sets_for_node("node", "n00000")[0]
+        assert state.gamma("node", idx, ["hb"], exclude=["hb"]) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_incremental_matches_recomputation(self, seed):
+        """Property: after random allocate/release churn, the incremental
+        per-group counters equal a from-scratch recomputation."""
+        rng = random.Random(seed)
+        topo = build_cluster(6, racks=2, service_units=2)
+        state = ClusterState(topo)
+        live: list[str] = []
+        tag_pool = ["hb", "hb_rs", "tf", "storm"]
+        for step in range(40):
+            if live and rng.random() < 0.4:
+                state.release(live.pop(rng.randrange(len(live))))
+            else:
+                cid = f"c{step}"
+                node = rng.choice(topo.node_ids())
+                tags = tuple(rng.sample(tag_pool, k=rng.randint(1, 2)))
+                if topo.node(node).can_fit(Resource(512, 1)):
+                    state.allocate(cid, node, Resource(512, 1), tags, "app")
+                    live.append(cid)
+        for group_name in topo.group_names():
+            group = topo.group(group_name)
+            for idx, node_set in enumerate(group.node_sets):
+                for tag in tag_pool:
+                    expected = sum(
+                        topo.node(n).dynamic_tags().cardinality(tag)
+                        for n in node_set
+                    )
+                    assert state.group_tag_count(group_name, idx, tag) == expected
+
+
+class TestCheckPlacement:
+    def test_affinity_hypothetical(self, state):
+        constraint = affinity("storm", "mem", "node")
+        put(state, "mc", "n00000", tags=("mem",))
+        ok, extent = state.check_placement(constraint, "n00000", {"storm"}, placed=False)
+        assert ok and extent == 0.0
+        ok, extent = state.check_placement(constraint, "n00001", {"storm"}, placed=False)
+        assert not ok and extent == pytest.approx(1.0)
+
+    def test_anti_affinity_post_placement_excludes_self(self, state):
+        """A container must not violate its own anti-affinity."""
+        constraint = anti_affinity("hb_rs", "hb_rs", "node")
+        put(state, "rs1", "n00000", tags=("hb", "hb_rs"))
+        ok, _ = state.check_placement(
+            constraint, "n00000", {"hb", "hb_rs"}, placed=True
+        )
+        assert ok
+
+    def test_anti_affinity_detects_pair(self, state):
+        constraint = anti_affinity("hb_rs", "hb_rs", "node")
+        put(state, "rs1", "n00000", tags=("hb_rs",))
+        put(state, "rs2", "n00000", tags=("hb_rs",))
+        ok, extent = state.check_placement(constraint, "n00000", {"hb_rs"}, placed=True)
+        assert not ok and extent == pytest.approx(1.0)
+
+    def test_cardinality_rack_scope(self, state):
+        constraint = cardinality("storm", "spark", 0, 2, "rack")
+        for i, node in enumerate(["n00000", "n00002", "n00004"]):
+            put(state, f"s{i}", node, tags=("spark",))
+        ok, extent = state.check_placement(constraint, "n00000", {"storm"}, placed=False)
+        assert not ok and extent == pytest.approx(1 / 2)
+        ok, _ = state.check_placement(constraint, "n00001", {"storm"}, placed=False)
+        assert ok  # other rack has no spark
+
+    def test_subject_mismatch_is_satisfied(self, state):
+        constraint = affinity("storm", "mem", "node")
+        ok, extent = state.check_placement(constraint, "n00000", {"tf"}, placed=False)
+        assert ok and extent == 0.0
+
+    def test_node_outside_group_counts_as_violation(self, state):
+        ids = state.topology.node_ids()
+        state.topology.register_group("half", [ids[:5]])
+        constraint = affinity("a", "b", "half")
+        ok, extent = state.check_placement(constraint, ids[7], {"a"}, placed=False)
+        assert not ok and extent >= 1.0
+
+
+class TestDeltaViolations:
+    def test_prefers_constraint_free_node(self, state):
+        constraint = anti_affinity("hb_rs", "hb_rs", "node")
+        put(state, "rs1", "n00000", tags=("hb_rs",))
+        bad = state.placement_delta_violations([constraint], "n00000", {"hb_rs"})
+        good = state.placement_delta_violations([constraint], "n00001", {"hb_rs"})
+        assert bad > good == 0.0
+
+    def test_reverse_direction_detected(self, state):
+        """Placing a target container next to an existing subject counts."""
+        constraint = anti_affinity("hb_m", "hb_sec", "node")
+        put(state, "m", "n00000", tags=("hb_m",))
+        delta = state.placement_delta_violations([constraint], "n00000", {"hb_sec"})
+        assert delta > 0.0
+
+    def test_affinity_gradient(self, state):
+        """Extent gradient: a rack with more target containers scores
+        strictly better for an unsatisfiable-min affinity."""
+        constraint = affinity("w", "w", "rack", min_count=3)
+        put(state, "w1", "n00000", tags=("w",))
+        closer = state.placement_delta_violations([constraint], "n00002", {"w"})
+        farther = state.placement_delta_violations([constraint], "n00001", {"w"})
+        assert closer < farther
+
+
+class TestClusterMetrics:
+    def test_fragmented_fraction(self, state):
+        # Fill one node to 15.5/16 GB: free 512 MB < 2 GB threshold.
+        put(state, "big", "n00000", mem=15 * 1024 + 512)
+        assert state.fragmented_node_fraction() == pytest.approx(0.1)
+
+    def test_cv_zero_when_uniform(self, state):
+        for i in range(10):
+            put(state, f"c{i}", f"n{i:05d}", mem=1024)
+        assert state.memory_utilization_cv() == pytest.approx(0.0)
+
+    def test_cv_positive_when_skewed(self, state):
+        put(state, "c0", "n00000", mem=8 * 1024)
+        assert state.memory_utilization_cv() > 1.0
+
+    def test_cluster_memory_utilization(self, state):
+        put(state, "c0", "n00000", mem=16 * 1024)
+        assert state.cluster_memory_utilization() == pytest.approx(0.1)

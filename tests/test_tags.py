@@ -1,0 +1,165 @@
+"""Unit tests for tags and the tag-cardinality multiset (paper §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tags import (
+    NODE_SCOPE,
+    RACK_SCOPE,
+    TagMultiset,
+    app_id_tag,
+    is_namespaced,
+    tag_namespace,
+    validate_tag,
+)
+
+tag_strategy = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("tag", ["hb", "hb_m", "appID:0023", "memory_critical"])
+    def test_valid_tags(self, tag):
+        assert validate_tag(tag) == tag
+
+    @pytest.mark.parametrize(
+        "tag", ["", "has space", "a,b", "a:b:c", ":x", "x:", "br{ace}"]
+    )
+    def test_invalid_tags(self, tag):
+        with pytest.raises(ValueError):
+            validate_tag(tag)
+
+    def test_namespace_detection(self):
+        assert is_namespaced("appID:1")
+        assert not is_namespaced("hb")
+        assert tag_namespace("appID:1") == "appID"
+        assert tag_namespace("hb") is None
+
+    def test_app_id_tag(self):
+        assert app_id_tag("0023") == "appID:0023"
+
+    def test_scope_constants(self):
+        assert NODE_SCOPE == "node"
+        assert RACK_SCOPE == "rack"
+
+
+class TestMultisetBasics:
+    def test_empty(self):
+        ms = TagMultiset()
+        assert len(ms) == 0
+        assert ms.total() == 0
+        assert ms.cardinality("hb") == 0
+
+    def test_paper_example_node(self):
+        """§4.1: master {hb, hb_m} + region server {hb, hb_rs} on one node."""
+        ms = TagMultiset(["hb", "hb_m"])
+        ms.add_all(["hb", "hb_rs"])
+        assert ms.distinct() == {"hb", "hb_m", "hb_rs"}
+        assert ms.cardinality("hb") == 2
+        assert ms.cardinality("hb_m") == 1
+        assert ms.cardinality("hb_rs") == 1
+
+    def test_paper_example_rack_union(self):
+        """§4.1: rack tag set is the union (multiset sum) of its nodes."""
+        n1 = TagMultiset(["hb", "hb_m", "hb", "hb_rs"])
+        n2 = TagMultiset(["hb", "hb_rs"])
+        rack = n1.union_sum(n2)
+        assert rack.cardinality("hb") == 3
+        assert rack.cardinality("hb_m") == 1
+        assert rack.cardinality("hb_rs") == 2
+
+    def test_add_count(self):
+        ms = TagMultiset()
+        ms.add("x", 3)
+        assert ms.cardinality("x") == 3
+
+    def test_add_zero_is_noop(self):
+        ms = TagMultiset()
+        ms.add("x", 0)
+        assert "x" not in ms
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TagMultiset().add("x", -1)
+
+    def test_add_validates(self):
+        with pytest.raises(ValueError):
+            TagMultiset().add("bad tag")
+
+    def test_remove(self):
+        ms = TagMultiset(["a", "a", "b"])
+        ms.remove("a")
+        assert ms.cardinality("a") == 1
+        ms.remove("a")
+        assert "a" not in ms
+
+    def test_remove_more_than_present_raises(self):
+        ms = TagMultiset(["a"])
+        with pytest.raises(KeyError):
+            ms.remove("a", 2)
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            TagMultiset().remove("ghost")
+
+    def test_contains_iter_len(self):
+        ms = TagMultiset(["a", "a", "b"])
+        assert "a" in ms and "b" in ms
+        assert sorted(ms) == ["a", "b"]
+        assert len(ms) == 2
+        assert ms.total() == 3
+
+    def test_copy_is_independent(self):
+        ms = TagMultiset(["a"])
+        dup = ms.copy()
+        dup.add("a")
+        assert ms.cardinality("a") == 1
+        assert dup.cardinality("a") == 2
+
+    def test_equality(self):
+        assert TagMultiset(["a", "b"]) == TagMultiset(["b", "a"])
+        assert TagMultiset(["a"]) != TagMultiset(["a", "a"])
+
+    def test_as_dict(self):
+        assert TagMultiset(["a", "a"]).as_dict() == {"a": 2}
+
+    def test_repr_sorted(self):
+        assert repr(TagMultiset(["b", "a"])) == "TagMultiset({a:1, b:1})"
+
+
+class TestConjunctionCardinality:
+    def test_min_cardinality(self):
+        ms = TagMultiset(["hb", "hb", "mem"])
+        assert ms.min_cardinality(["hb", "mem"]) == 1
+        assert ms.min_cardinality(["hb"]) == 2
+
+    def test_min_cardinality_missing_tag(self):
+        ms = TagMultiset(["hb"])
+        assert ms.min_cardinality(["hb", "mem"]) == 0
+
+    def test_min_cardinality_empty(self):
+        assert TagMultiset(["x"]).min_cardinality([]) == 0
+
+
+class TestMultisetProperties:
+    @given(tags=st.lists(tag_strategy, max_size=30))
+    def test_total_equals_additions(self, tags):
+        ms = TagMultiset(tags)
+        assert ms.total() == len(tags)
+
+    @given(tags=st.lists(tag_strategy, min_size=1, max_size=30))
+    def test_add_remove_roundtrip(self, tags):
+        ms = TagMultiset(tags)
+        ms.remove_all(tags)
+        assert len(ms) == 0 and ms.total() == 0
+
+    @given(a=st.lists(tag_strategy, max_size=15), b=st.lists(tag_strategy, max_size=15))
+    def test_union_sum_cardinalities_add(self, a, b):
+        combined = TagMultiset(a).union_sum(TagMultiset(b))
+        for tag in set(a) | set(b):
+            assert combined.cardinality(tag) == a.count(tag) + b.count(tag)
+
+    @given(tags=st.lists(tag_strategy, max_size=30))
+    def test_distinct_matches_set(self, tags):
+        assert TagMultiset(tags).distinct() == frozenset(tags)

@@ -1,0 +1,173 @@
+"""Unit tests for nodes, topology and node groups (paper §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Node, NodeGroup, Resource, build_cluster
+from repro.cluster.node import Allocation
+from repro.cluster.topology import ClusterTopology
+
+
+def alloc(cid="c1", mem=1024, cores=1, tags=("w",), app="a1"):
+    return Allocation(cid, Resource(mem, cores), frozenset(tags), app)
+
+
+class TestNode:
+    def test_initial_state(self):
+        node = Node("n1", Resource(4096, 4))
+        assert node.free == Resource(4096, 4)
+        assert node.used == Resource(0, 0)
+        assert node.available
+        assert node.container_count() == 0
+
+    def test_allocate_updates_free_and_tags(self):
+        node = Node("n1", Resource(4096, 4))
+        node.allocate(alloc())
+        assert node.free == Resource(3072, 3)
+        assert node.dynamic_tags().cardinality("w") == 1
+
+    def test_release_restores(self):
+        node = Node("n1", Resource(4096, 4))
+        node.allocate(alloc())
+        node.release("c1")
+        assert node.free == node.capacity
+        assert node.dynamic_tags().cardinality("w") == 0
+
+    def test_duplicate_container_rejected(self):
+        node = Node("n1", Resource(4096, 4))
+        node.allocate(alloc())
+        with pytest.raises(ValueError):
+            node.allocate(alloc())
+
+    def test_overallocation_rejected(self):
+        node = Node("n1", Resource(1024, 1))
+        with pytest.raises(ValueError):
+            node.allocate(alloc(mem=2048))
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            Node("n1", Resource(1, 1)).release("ghost")
+
+    def test_can_fit_respects_availability(self):
+        node = Node("n1", Resource(4096, 4))
+        assert node.can_fit(Resource(1024, 1))
+        node.available = False
+        assert not node.can_fit(Resource(1024, 1))
+
+    def test_static_tags_in_multiset_once(self):
+        node = Node("n1", Resource(4096, 4), static_tags=["gpu"])
+        node.allocate(alloc())
+        ms = node.tag_multiset()
+        assert ms.cardinality("gpu") == 1
+        assert ms.cardinality("w") == 1
+        # static tags are not dynamic
+        assert node.dynamic_tags().cardinality("gpu") == 0
+
+    def test_memory_utilization(self):
+        node = Node("n1", Resource(4096, 4))
+        node.allocate(alloc(mem=1024))
+        assert node.memory_utilization() == pytest.approx(0.25)
+
+    def test_fragmentation_definition(self):
+        """§7.4: fragmented = less free than threshold AND not fully used."""
+        threshold = Resource(2048, 1)
+        node = Node("n1", Resource(4096, 2))
+        assert not node.is_fragmented(threshold)  # plenty free
+        node.allocate(alloc(cid="a", mem=3072, cores=1))
+        assert node.is_fragmented(threshold)  # 1 GB free < 2 GB
+        node.allocate(alloc(cid="b", mem=1024, cores=1))
+        assert not node.is_fragmented(threshold)  # fully used
+
+
+class TestNodeGroup:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NodeGroup("", ((),))
+
+    def test_sets_containing(self):
+        group = NodeGroup("g", (("a", "b"), ("b", "c")))
+        assert group.sets_containing("b") == [("a", "b"), ("b", "c")]
+        assert group.sets_containing("z") == []
+
+
+class TestTopology:
+    def test_predefined_groups(self, small_topology):
+        assert small_topology.has_group("node")
+        assert small_topology.has_group("rack")
+        assert len(small_topology.group("node").node_sets) == 10
+        assert len(small_topology.group("rack").node_sets) == 2
+
+    def test_rack_striping(self):
+        topo = build_cluster(6, racks=3)
+        racks = {}
+        for node in topo:
+            racks.setdefault(node.rack, []).append(node.node_id)
+        assert len(racks) == 3
+        assert all(len(ids) == 2 for ids in racks.values())
+
+    def test_register_group(self, small_topology):
+        ids = small_topology.node_ids()
+        group = small_topology.register_group("ud", [ids[:5], ids[5:]])
+        assert len(group.node_sets) == 2
+        assert small_topology.has_group("ud")
+
+    def test_register_predefined_name_rejected(self, small_topology):
+        with pytest.raises(ValueError):
+            small_topology.register_group("node", [["n00000"]])
+
+    def test_register_unknown_node_rejected(self, small_topology):
+        with pytest.raises(KeyError):
+            small_topology.register_group("g", [["ghost"]])
+
+    def test_overlapping_groups_allowed(self, small_topology):
+        ids = small_topology.node_ids()
+        group = small_topology.register_group("ov", [ids[:6], ids[4:]])
+        assert small_topology.set_indices_for_node("ov", ids[5]) == [0, 1]
+
+    def test_unknown_group_lookup_raises(self, small_topology):
+        with pytest.raises(KeyError):
+            small_topology.group("nope")
+        with pytest.raises(KeyError):
+            small_topology.set_indices_for_node("nope", "n00000")
+
+    def test_membership_index_consistent(self, small_topology):
+        for node_id in small_topology.node_ids():
+            for group_name in small_topology.group_names():
+                via_index = small_topology.sets_of_group_containing(group_name, node_id)
+                group = small_topology.group(group_name)
+                brute = [ns for ns in group.node_sets if node_id in ns]
+                assert via_index == brute
+
+    def test_duplicate_node_ids_rejected(self):
+        nodes = [Node("same", Resource(1, 1)), Node("same", Resource(1, 1))]
+        with pytest.raises(ValueError):
+            ClusterTopology(nodes)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTopology([])
+
+    def test_total_capacity(self):
+        topo = build_cluster(4, memory_mb=1000, vcores=2)
+        assert topo.total_capacity() == Resource(4000, 8)
+
+
+class TestBuildCluster:
+    def test_domains_partition_all_nodes(self):
+        topo = build_cluster(100, racks=4, upgrade_domains=7, fault_domains=3, service_units=5)
+        for name, count in [("upgrade_domain", 7), ("fault_domain", 3), ("service_unit", 5)]:
+            group = topo.group(name)
+            assert len(group.node_sets) == count
+            covered = [n for ns in group.node_sets for n in ns]
+            assert sorted(covered) == sorted(topo.node_ids())
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(0)
+        with pytest.raises(ValueError):
+            build_cluster(5, racks=0)
+
+    def test_node_prefix(self):
+        topo = build_cluster(2, node_prefix="x")
+        assert all(n.node_id.startswith("x") for n in topo)

@@ -1,0 +1,168 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterState, Resource, build_cluster
+from repro.workloads import (
+    GoogleTraceConfig,
+    GridMixConfig,
+    YCSB_WORKLOADS,
+    complexity_population,
+    fill_cluster,
+    generate_tasks,
+    generate_trace,
+    hbase_population,
+    population_for_utilization,
+    workload,
+)
+from repro.tags import app_id_tag
+
+
+class TestYcsb:
+    def test_six_workloads(self):
+        assert sorted(YCSB_WORKLOADS) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_fractions_sum_to_one(self):
+        for wl in YCSB_WORKLOADS.values():
+            total = (wl.read_fraction + wl.update_fraction
+                     + wl.scan_fraction + wl.insert_fraction)
+            assert total == pytest.approx(1.0)
+
+    def test_lookup_case_insensitive(self):
+        assert workload("a").name == "A"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            workload("Z")
+
+    def test_scan_heavy_lowest_rate(self):
+        assert YCSB_WORKLOADS["E"].base_kops == min(
+            wl.base_kops for wl in YCSB_WORKLOADS.values()
+        )
+
+
+class TestGridMix:
+    def test_bounded_by_count(self):
+        stream = list(generate_tasks(count=50))
+        assert len(stream) == 50
+        times = [t for t, _ in stream]
+        assert times == sorted(times)
+
+    def test_bounded_by_horizon(self):
+        stream = list(generate_tasks(GridMixConfig(seed=1), horizon_s=30.0))
+        assert all(t <= 30.0 for t, _ in stream)
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError):
+            next(generate_tasks())
+
+    def test_deterministic_by_seed(self):
+        a = [(t, task.task_id) for t, task in generate_tasks(GridMixConfig(seed=9), count=20)]
+        b = [(t, task.task_id) for t, task in generate_tasks(GridMixConfig(seed=9), count=20)]
+        assert [x[0] for x in a] == [x[0] for x in b]
+
+    def test_durations_positive_heavy_tailed(self):
+        durations = [task.duration_s for _, task in generate_tasks(count=300)]
+        assert all(d > 0 for d in durations)
+        assert max(durations) > 4 * (sum(durations) / len(durations))
+
+    def test_fill_cluster_hits_target(self):
+        state = ClusterState(build_cluster(20, memory_mb=16 * 1024))
+        placed = fill_cluster(state, 0.5)
+        assert placed > 0
+        assert state.cluster_memory_utilization() == pytest.approx(0.5, abs=0.02)
+
+    def test_fill_cluster_zero(self):
+        state = ClusterState(build_cluster(4))
+        assert fill_cluster(state, 0.0) == 0
+
+    def test_fill_cluster_bad_fraction(self):
+        state = ClusterState(build_cluster(4))
+        with pytest.raises(ValueError):
+            fill_cluster(state, 1.5)
+
+    def test_fill_marks_short_running(self):
+        state = ClusterState(build_cluster(4))
+        fill_cluster(state, 0.2)
+        assert all(not c.allocation.long_running for c in state.containers.values())
+
+
+class TestGoogleTrace:
+    def test_count_and_ordering(self):
+        stream = list(generate_trace(count=200))
+        assert len(stream) == 200
+        times = [t for t, _ in stream]
+        assert times == sorted(times)
+
+    def test_speedup_compresses_time(self):
+        slow = list(generate_trace(GoogleTraceConfig(seed=5, speedup=1.0), count=100))
+        fast = list(generate_trace(GoogleTraceConfig(seed=5, speedup=200.0), count=100))
+        assert fast[-1][0] < slow[-1][0]
+
+    def test_durations_scaled(self):
+        fast = [task.duration_s for _, task in
+                generate_trace(GoogleTraceConfig(seed=5, speedup=200.0), count=200)]
+        assert max(fast) < 60.0  # sub-minute after 200x compression
+
+    def test_sizes_from_catalogue(self):
+        for _, task in generate_trace(count=100):
+            assert task.resource.memory_mb in (512, 1024, 2048, 4096)
+
+
+class TestLraPopulations:
+    def test_hbase_population_count(self):
+        pop = hbase_population(5)
+        assert len(pop) == 5
+        assert len({r.app_id for r in pop}) == 5
+
+    def test_population_for_utilization_sizing(self):
+        topo = build_cluster(100, memory_mb=16 * 1024)
+        pop = population_for_utilization(topo, 0.3)
+        total = sum(r.total_resource().memory_mb for r in pop)
+        cluster = topo.total_capacity().memory_mb
+        assert total / cluster == pytest.approx(0.3, abs=0.05)
+
+    def test_population_mixes_bulk_beyond_cap(self):
+        """Above the constrained cap, unconstrained bulk LRAs fill the rest
+        so the workload stays satisfiable at high utilisation."""
+        topo = build_cluster(100, memory_mb=16 * 1024)
+        pop = population_for_utilization(topo, 0.9)
+        total = sum(r.total_resource().memory_mb for r in pop)
+        cluster = topo.total_capacity().memory_mb
+        assert total / cluster == pytest.approx(0.9, abs=0.05)
+        constrained = [r for r in pop if r.constraints]
+        bulk = [r for r in pop if not r.constraints]
+        assert bulk, "expected unconstrained bulk LRAs in a 90% population"
+        constrained_mb = sum(r.total_resource().memory_mb for r in constrained)
+        assert constrained_mb / cluster <= 0.35
+        # Interleaved, not phased: a bulk app appears before the last
+        # constrained app.
+        kinds = ["hb" if r.constraints else "bulk" for r in pop]
+        assert "bulk" in kinds[: len(kinds) // 2]
+
+    def test_population_bad_fraction(self):
+        topo = build_cluster(10)
+        with pytest.raises(ValueError):
+            population_for_utilization(topo, 0.0)
+
+    def test_complexity_one_has_no_inter_constraints(self):
+        pop = complexity_population(2, 1)
+        assert len(pop) == 2
+        for req in pop:
+            assert len(req.constraints) == 1  # only the local cap
+
+    def test_complexity_links_apps(self):
+        pop = complexity_population(1, 4, seed=3)
+        assert len(pop) == 4
+        app_ids = [r.app_id for r in pop]
+        for i, req in enumerate(pop):
+            inter = req.constraints[1]
+            target_tags = inter.tag_constraints[0].c_tag.tags
+            expected = app_id_tag(app_ids[(i + 1) % 4])
+            assert expected in target_tags
+
+    def test_complexity_invalid(self):
+        with pytest.raises(ValueError):
+            complexity_population(1, 0)
