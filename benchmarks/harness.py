@@ -10,6 +10,12 @@ Scale note: the paper simulates 500 machines; the benchmarks default to a
 100–200 machine cluster so the full suite stays in CI-friendly time.  The
 shapes being reproduced (orderings, trends) are scale-invariant here; bump
 ``BENCH_SCALE`` via the environment to run closer to paper scale.
+
+Solver telemetry: when the scheduler under test is the ILP, every cycle's
+:class:`~repro.solver.SolverStats` (nodes, LP solves, presolve reductions,
+per-phase wall time) is aggregated into ``ExperimentResult.solver_stats``;
+set ``SOLVER_STATS=1`` in the environment to also print the totals after
+each experiment.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro import (
 )
 from repro.core.requests import LRARequest
 from repro.metrics import evaluate_violations
+from repro.solver import SolverStats
 from repro.workloads import fill_cluster
 
 #: Global scale multiplier for benchmark cluster sizes (1.0 = default).
@@ -72,6 +79,9 @@ class ExperimentResult:
     rejected_apps: int
     mean_cycle_s: float
     cycles: int = 0
+    #: Aggregated MILP effort across all cycles (``None`` when the
+    #: scheduler never reported solver stats, i.e. for the heuristics).
+    solver_stats: SolverStats | None = None
 
 
 def run_placement_experiment(
@@ -97,6 +107,7 @@ def run_placement_experiment(
 
     placed = rejected = 0
     cycle_times: list[float] = []
+    solver_totals: SolverStats | None = None
     for start in range(0, len(population), batch_size):
         batch = list(population[start:start + batch_size])
         for request in batch:
@@ -104,6 +115,10 @@ def run_placement_experiment(
         begin = time.perf_counter()
         result = scheduler.place(batch, state, manager)
         cycle_times.append(time.perf_counter() - begin)
+        if result.solver_stats is not None:
+            if solver_totals is None:
+                solver_totals = SolverStats(solves=0)
+            solver_totals.merge(result.solver_stats)
         for placement in result.placements:
             state.allocate(
                 placement.container_id,
@@ -118,6 +133,8 @@ def run_placement_experiment(
             manager.unregister_application(app_id)
 
     report = evaluate_violations(state, manager=manager)
+    if solver_totals is not None and os.environ.get("SOLVER_STATS"):
+        print(f"[{scheduler.name}] {solver_totals.summary()}")
     return ExperimentResult(
         violation_fraction=report.violation_fraction,
         fragmentation_fraction=state.fragmented_node_fraction(),
@@ -126,4 +143,5 @@ def run_placement_experiment(
         rejected_apps=rejected,
         mean_cycle_s=sum(cycle_times) / max(1, len(cycle_times)),
         cycles=len(cycle_times),
+        solver_stats=solver_totals,
     )

@@ -25,7 +25,9 @@ from repro.apps import hbase_instance
 from repro.reporting import banner, render_series
 from repro.workloads import fill_cluster
 
-CLUSTER_SIZES = [50, 200, 500, 1000]
+from .harness import scaled
+
+CLUSTER_SIZES = [scaled(n) for n in (50, 200, 500, 1000)]
 
 
 def schedulers():

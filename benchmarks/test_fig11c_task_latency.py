@@ -50,7 +50,7 @@ def run_fig11c():
 
 def test_fig11c_task_latency(benchmark):
     series = benchmark.pedantic(run_fig11c, rounds=1, iterations=1)
-    stats = {name: BoxStats.from_values(v) for name, v in series.items()}
+    stats = {name: BoxStats.from_values_or_empty(v) for name, v in series.items()}
     print(banner("Figure 11c: task scheduling latency (s), Google trace 200x"))
     print(render_table(
         ["system", "count", "p25", "median", "p75", "p99"],

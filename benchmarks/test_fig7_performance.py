@@ -98,7 +98,7 @@ def run_fig7():
 def test_fig7_performance(benchmark):
     results = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
     stats = {
-        name: {k: BoxStats.from_values(v) for k, v in series.items()}
+        name: {k: BoxStats.from_values_or_empty(v) for k, v in series.items()}
         for name, series in results.items()
     }
     for panel, title, unit in (

@@ -617,6 +617,7 @@ class IlpFormulation:
     def extract(self, solution: MilpSolution) -> PlacementResult:
         """Decode a solver solution into a :class:`PlacementResult`."""
         result = PlacementResult()
+        result.solver_stats = solution.stats
         if not solution.status.has_solution():
             result.rejected_apps = [r.app_id for r in self.requests]
             return result

@@ -7,11 +7,12 @@ configured backend, and decodes placements.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
-from ..solver import BnBOptions, HighsOptions, solve
+from ..solver import BnBOptions, HighsOptions, SolverStats, solve
 from .constraint_manager import ConstraintManager
 from .ilp import IlpFormulation, IlpWeights
 from .requests import LRARequest
@@ -38,6 +39,12 @@ class IlpScheduler(LRAScheduler):
         Relative optimality gap at which the solver may stop early; batch
         placement rarely benefits from proving the last fraction of a
         percent, so sweeps use a few percent here.
+    bnb_options:
+        Full :class:`~repro.solver.BnBOptions` for the ``"bnb"`` backend
+        (presolve, pseudocost branching, rounding heuristic, node
+        propagation).  When given, its ``time_limit_s``/``gap`` are
+        overridden by this scheduler's ``time_limit_s``/``mip_rel_gap``;
+        ``None`` uses the solver defaults (everything enabled).
     max_candidate_nodes:
         Optional pruning of the placement-variable space for large
         clusters: the MILP considers only a pool of roughly this many
@@ -59,6 +66,7 @@ class IlpScheduler(LRAScheduler):
         time_limit_s: float = 60.0,
         mip_rel_gap: float = 1e-6,
         max_candidate_nodes: int | None = None,
+        bnb_options: BnBOptions | None = None,
     ) -> None:
         self.weights = weights or IlpWeights()
         self.backend = backend
@@ -66,8 +74,11 @@ class IlpScheduler(LRAScheduler):
         self.time_limit_s = time_limit_s
         self.mip_rel_gap = mip_rel_gap
         self.max_candidate_nodes = max_candidate_nodes
+        self.bnb_options = bnb_options
         #: Diagnostics from the last invocation.
         self.last_formulation: IlpFormulation | None = None
+        #: Solver effort breakdown from the last invocation.
+        self.last_stats: SolverStats | None = None
 
     def place(
         self,
@@ -87,13 +98,17 @@ class IlpScheduler(LRAScheduler):
         )
         formulation.build()
         if self.backend == "bnb":
-            options = BnBOptions(time_limit_s=self.time_limit_s, gap=self.mip_rel_gap)
+            base = self.bnb_options or BnBOptions()
+            options = replace(
+                base, time_limit_s=self.time_limit_s, gap=self.mip_rel_gap
+            )
         else:
             options = HighsOptions(
                 time_limit_s=self.time_limit_s, mip_rel_gap=self.mip_rel_gap
             )
         solution = solve(formulation.model, backend=self.backend, options=options)
         self.last_formulation = formulation
+        self.last_stats = solution.stats
         return formulation.extract(solution)
 
     def _candidate_pool(

@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
+from ..solver import SolverStats
 from .constraint_manager import ConstraintManager
 from .requests import ContainerRequest, LRARequest
 
@@ -51,6 +52,9 @@ class PlacementResult:
     solve_time_s: float = 0.0
     #: Scheduler-reported objective value, if the algorithm computes one.
     objective: float | None = None
+    #: MILP effort breakdown when an ILP backend produced this result
+    #: (``None`` for the heuristic schedulers).
+    solver_stats: SolverStats | None = None
 
     def placed_apps(self) -> set[str]:
         return {p.app_id for p in self.placements}

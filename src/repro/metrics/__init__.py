@@ -2,11 +2,18 @@
 
 from __future__ import annotations
 
-from .stats import BoxStats, cdf_points, coefficient_of_variation, percentile
+from .stats import (
+    BoxStats,
+    EmptyDataError,
+    cdf_points,
+    coefficient_of_variation,
+    percentile,
+)
 from .violations import ViolationReport, evaluate_violations
 
 __all__ = [
     "BoxStats",
+    "EmptyDataError",
     "cdf_points",
     "coefficient_of_variation",
     "percentile",

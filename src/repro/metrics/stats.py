@@ -10,13 +10,40 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["BoxStats", "percentile", "cdf_points", "coefficient_of_variation"]
+__all__ = [
+    "BoxStats",
+    "EmptyDataError",
+    "percentile",
+    "cdf_points",
+    "coefficient_of_variation",
+]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (q in [0, 100])."""
+class EmptyDataError(ValueError):
+    """A summary statistic was asked of an empty sequence.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` /
+    ``pytest.raises(ValueError)`` call sites keep working, while letting
+    benchmark drivers distinguish "no data" (a scheduler placed nothing,
+    a latency series is empty) from a genuinely malformed argument.
+    """
+
+
+_MISSING = object()
+
+
+def percentile(values: Sequence[float], q: float, *, default: float = _MISSING) -> float:
+    """Linear-interpolation percentile (q in [0, 100]).
+
+    Raises :class:`EmptyDataError` on empty input unless ``default`` is
+    given, in which case it is returned instead — the escape hatch for
+    benchmark tables whose series can legitimately be empty (e.g. a
+    scheduler that rejected every application).
+    """
     if not values:
-        raise ValueError("percentile of empty sequence")
+        if default is not _MISSING:
+            return default
+        raise EmptyDataError("percentile of empty sequence")
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
     ordered = sorted(values)
@@ -49,7 +76,7 @@ class BoxStats:
     def from_values(cls, values: Iterable[float]) -> "BoxStats":
         data = list(values)
         if not data:
-            raise ValueError("BoxStats of empty data")
+            raise EmptyDataError("BoxStats of empty data")
         return cls(
             p5=percentile(data, 5),
             p25=percentile(data, 25),
@@ -60,7 +87,22 @@ class BoxStats:
             count=len(data),
         )
 
+    @classmethod
+    def empty(cls) -> "BoxStats":
+        """NaN-filled summary with ``count == 0`` (renders as "no data")."""
+        nan = math.nan
+        return cls(p5=nan, p25=nan, median=nan, p75=nan, p99=nan, mean=nan, count=0)
+
+    @classmethod
+    def from_values_or_empty(cls, values: Iterable[float]) -> "BoxStats":
+        """Like :meth:`from_values` but maps empty input to :meth:`empty`,
+        for benchmark series that can legitimately have no samples."""
+        data = list(values)
+        return cls.from_values(data) if data else cls.empty()
+
     def row(self, label: str, unit: str = "") -> str:
+        if self.count == 0:
+            return f"{label:<12} (no data)"
         return (
             f"{label:<12} p5={self.p5:8.1f}  p25={self.p25:8.1f}  "
             f"median={self.median:8.1f}  p75={self.p75:8.1f}  "

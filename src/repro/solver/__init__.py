@@ -14,16 +14,22 @@ from __future__ import annotations
 
 from .branch_and_bound import BnBOptions, solve_branch_and_bound
 from .highs import HighsOptions, solve_highs
-from .model import INF, MilpModel, MilpSolution, Sense, SolveStatus
+from .model import INF, MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
+from .presolve import PresolveResult, StandardForm, presolve, standard_form
 
 __all__ = [
     "INF",
     "MilpModel",
     "MilpSolution",
     "Sense",
+    "SolverStats",
     "SolveStatus",
     "BnBOptions",
     "HighsOptions",
+    "PresolveResult",
+    "StandardForm",
+    "presolve",
+    "standard_form",
     "solve",
     "solve_branch_and_bound",
     "solve_highs",

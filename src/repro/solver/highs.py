@@ -8,11 +8,12 @@ cross-validation.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from .model import MilpModel, MilpSolution, Sense, SolveStatus
+from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 
 __all__ = ["solve_highs", "HighsOptions"]
 
@@ -36,6 +37,7 @@ _STATUS_MAP = {
 
 def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSolution:
     options = options or HighsOptions()
+    start = time.perf_counter()
     sign = -1.0 if model.sense is Sense.MAXIMIZE else 1.0
     c = sign * model.objective_vector()
     lower, upper = model.variable_bounds()
@@ -53,9 +55,30 @@ def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSo
             "mip_rel_gap": options.mip_rel_gap,
         },
     )
+    stats = SolverStats(
+        backend="highs",
+        nodes_explored=int(getattr(result, "mip_node_count", 0) or 0),
+        time_total_s=time.perf_counter() - start,
+    )
     if result.x is None:
         status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
-        return MilpSolution(status, math.nan, ())
+        if result.status == 4 and "unbounded" in (result.message or "").lower():
+            # HiGHS presolve reports "infeasible or unbounded" without
+            # telling which.  A zero-objective re-solve settles it: a
+            # feasible rational MILP whose status is one of the two must
+            # be unbounded.
+            feas = milp(
+                c=np.zeros_like(c),
+                constraints=constraints,
+                bounds=Bounds(lower, upper),
+                integrality=model.integrality(),
+                options={"time_limit": options.time_limit_s},
+            )
+            if feas.status == 0:
+                status = SolveStatus.UNBOUNDED
+            elif feas.status == 2:
+                status = SolveStatus.INFEASIBLE
+        return MilpSolution(status, math.nan, (), stats.nodes_explored, stats)
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     if status is SolveStatus.ERROR and result.x is not None:
         status = SolveStatus.FEASIBLE  # limit hit but incumbent available
@@ -65,4 +88,4 @@ def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSo
     for index in model.integer_indices():
         values[index] = round(values[index])
     objective = sign * float(result.fun)
-    return MilpSolution(status, objective, tuple(values.tolist()))
+    return MilpSolution(status, objective, tuple(values.tolist()), stats.nodes_explored, stats)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -15,7 +17,12 @@ from repro import (
     cardinality,
     evaluate_violations,
 )
-from repro.metrics import cdf_points, coefficient_of_variation, percentile
+from repro.metrics import (
+    EmptyDataError,
+    cdf_points,
+    coefficient_of_variation,
+    percentile,
+)
 from repro import CompoundConstraint, affinity
 from tests.helpers import make_lra
 
@@ -41,6 +48,20 @@ class TestPercentile:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             percentile([], 50)
+
+    def test_empty_raises_typed_error(self):
+        """The empty-input error is distinguishable from bad arguments."""
+        with pytest.raises(EmptyDataError):
+            percentile([], 50)
+        with pytest.raises(ValueError) as exc:
+            percentile([1], 101)
+        assert not isinstance(exc.value, EmptyDataError)
+
+    def test_empty_with_default(self):
+        assert percentile([], 50, default=0.0) == 0.0
+        assert percentile([], 99, default=math.nan) is not None
+        # A provided default never shadows real data.
+        assert percentile([7.0], 50, default=0.0) == 7.0
 
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
@@ -69,6 +90,21 @@ class TestBoxStats:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             BoxStats.from_values([])
+
+    def test_empty_raises_typed_error(self):
+        with pytest.raises(EmptyDataError):
+            BoxStats.from_values([])
+
+    def test_empty_safe_variant(self):
+        stats = BoxStats.from_values_or_empty([])
+        assert stats.count == 0
+        assert math.isnan(stats.median)
+        # Non-empty input goes through the normal path.
+        assert BoxStats.from_values_or_empty([1.0, 2.0]).count == 2
+
+    def test_empty_row_renders(self):
+        row = BoxStats.empty().row("latency", "s")
+        assert "latency" in row and "no data" in row
 
     def test_row_format(self):
         row = BoxStats.from_values([1.0]).row("label", "s")

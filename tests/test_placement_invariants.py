@@ -1,0 +1,156 @@
+"""Property-based placement invariants, across every scheduler.
+
+Whatever the algorithm — the ILP (either backend) or any of the greedy
+heuristics — a :class:`PlacementResult` must respect the structural
+constraints of the paper's formulation on *arbitrary* inputs:
+
+* node capacity on every resource dimension (Eq. 3): the batch's
+  placements plus whatever was already on the node never exceed capacity;
+* all-or-nothing per LRA (Eq. 4): an application either has every one of
+  its containers placed or none;
+* no container placed twice (Eq. 2): container ids are unique across the
+  proposal and refer to nodes that exist;
+* placement is a *proposal* (Fig. 4 step 2→3): the live cluster state is
+  untouched after ``place`` returns.
+
+Hypothesis drives cluster shapes, batch compositions and constraint mixes;
+shrinking turns any violation into a minimal counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ClusterState,
+    ConstraintManager,
+    ConstraintUnawareScheduler,
+    ContainerRequest,
+    IlpScheduler,
+    LRARequest,
+    NodeCandidatesScheduler,
+    Resource,
+    SerialScheduler,
+    TagPopularityScheduler,
+    build_cluster,
+)
+from repro.core.constraints import affinity, anti_affinity, cardinality
+
+SCHEDULER_FACTORIES = {
+    "ilp-highs": lambda: IlpScheduler(time_limit_s=10.0),
+    "ilp-bnb": lambda: IlpScheduler(backend="bnb", time_limit_s=10.0),
+    "serial": SerialScheduler,
+    "tag-popularity": TagPopularityScheduler,
+    "node-candidates": NodeCandidatesScheduler,
+    "constraint-unaware": ConstraintUnawareScheduler,
+}
+
+TAGS = ["web", "db", "cache", "mon"]
+
+
+@st.composite
+def batches(draw):
+    """(cluster kwargs, LRA batch) pairs small enough for the ILP."""
+    num_nodes = draw(st.integers(min_value=2, max_value=8))
+    racks = draw(st.integers(min_value=1, max_value=min(3, num_nodes)))
+    memory_mb = draw(st.sampled_from([2048, 4096, 8192]))
+    vcores = draw(st.integers(min_value=2, max_value=6))
+    num_apps = draw(st.integers(min_value=1, max_value=3))
+    requests = []
+    for a in range(num_apps):
+        app_id = f"app-{a}"
+        tag = draw(st.sampled_from(TAGS))
+        n_containers = draw(st.integers(min_value=1, max_value=4))
+        container_mem = draw(st.sampled_from([256, 1024, 3072, 6144]))
+        container_cores = draw(st.integers(min_value=1, max_value=3))
+        containers = [
+            ContainerRequest(
+                f"{app_id}/c{i}",
+                Resource(container_mem, container_cores),
+                frozenset({tag, app_id}),
+            )
+            for i in range(n_containers)
+        ]
+        constraints = []
+        kind = draw(st.sampled_from(["none", "affinity", "anti", "cardinality"]))
+        other = draw(st.sampled_from(TAGS))
+        hard = draw(st.booleans())
+        if kind == "affinity":
+            constraints.append(affinity(app_id, other, hard=hard))
+        elif kind == "anti":
+            constraints.append(anti_affinity(app_id, other, hard=hard))
+        elif kind == "cardinality":
+            constraints.append(cardinality(app_id, tag, 0, 2, hard=hard))
+        requests.append(LRARequest(app_id, containers, tuple(constraints), ()))
+    cluster = dict(num_nodes=num_nodes, racks=racks, memory_mb=memory_mb, vcores=vcores)
+    return cluster, requests
+
+
+def check_invariants(scheduler, cluster, requests):
+    topology = build_cluster(
+        cluster["num_nodes"],
+        racks=cluster["racks"],
+        memory_mb=cluster["memory_mb"],
+        vcores=cluster["vcores"],
+    )
+    state = ClusterState(topology)
+    manager = ConstraintManager(topology)
+    for request in requests:
+        manager.register_application(request)
+    free_before = {n.node_id: state.free_resources(n.node_id) for n in topology}
+
+    result = scheduler.place(requests, state, manager)
+
+    # Proposal only: the live state must be untouched (Fig. 4).
+    free_after = {n.node_id: state.free_resources(n.node_id) for n in topology}
+    assert free_after == free_before, "place() leaked allocations into the state"
+
+    node_ids = {n.node_id for n in topology}
+    capacity = {n.node_id: n.capacity for n in topology}
+
+    # Eq. 2: each container at most once, and on a real node.
+    seen_containers = [p.container_id for p in result.placements]
+    assert len(seen_containers) == len(set(seen_containers)), "container placed twice"
+    for placement in result.placements:
+        assert placement.node_id in node_ids, f"unknown node {placement.node_id}"
+
+    # Eq. 3: per-node load within capacity on every dimension.
+    for node_id in node_ids:
+        load = Resource(0, 0)
+        for placement in result.placements:
+            if placement.node_id == node_id:
+                load = load + placement.resource
+        assert load.fits(capacity[node_id]), (
+            f"node {node_id}: load {load} exceeds capacity {capacity[node_id]}"
+        )
+
+    # Eq. 4: all-or-nothing per application, and a clean partition of the
+    # batch into placed and rejected.
+    placed_counts = {r.app_id: 0 for r in requests}
+    for placement in result.placements:
+        assert placement.app_id in placed_counts, "placement for unknown app"
+        placed_counts[placement.app_id] += 1
+    rejected = set(result.rejected_apps)
+    for request in requests:
+        count = placed_counts[request.app_id]
+        if request.app_id in rejected:
+            assert count == 0, f"{request.app_id} rejected but partially placed"
+        else:
+            assert count == len(request.containers), (
+                f"{request.app_id} placed {count}/{len(request.containers)} containers"
+            )
+
+
+def _make_test(factory):
+    @settings(max_examples=25, deadline=None)
+    @given(batch=batches())
+    def run(batch):
+        cluster, requests = batch
+        check_invariants(factory(), cluster, requests)
+
+    return run
+
+
+for _name, _factory in SCHEDULER_FACTORIES.items():
+    globals()[f"test_invariants_{_name.replace('-', '_')}"] = _make_test(_factory)
+del _name, _factory
