@@ -1,0 +1,35 @@
+"""Benchmark-session observability hooks.
+
+When ``MEDEA_TRACE`` is set, the whole benchmark session records the
+structured event trace to ``MEDEA_TRACE_OUT`` (default
+``medea_trace.jsonl``); at session end the trace file is flushed and the
+ambient metrics registry is dumped next to it as
+``<trace stem>.metrics.json`` — the pair CI uploads as build artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import ENV_TRACE, ENV_TRACE_OUT, configure_from_env, get_tracer
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _medea_trace_session():
+    configure_from_env()
+    yield
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    tracer.close()
+    if os.environ.get(ENV_TRACE):
+        trace_path = Path(os.environ.get(ENV_TRACE_OUT, "medea_trace.jsonl"))
+        snapshot_path = trace_path.with_suffix(".metrics.json")
+        snapshot_path.write_text(
+            json.dumps(get_metrics().snapshot(), indent=2, sort_keys=True) + "\n"
+        )

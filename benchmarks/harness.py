@@ -12,17 +12,18 @@ shapes being reproduced (orderings, trends) are scale-invariant here; bump
 ``BENCH_SCALE`` via the environment to run closer to paper scale.
 
 Solver telemetry: when the scheduler under test is the ILP, every cycle's
-:class:`~repro.solver.SolverStats` (nodes, LP solves, presolve reductions,
+:class:`~repro.obs.SolverStats` (nodes, LP solves, presolve reductions,
 per-phase wall time) is aggregated into ``ExperimentResult.solver_stats``;
-set ``SOLVER_STATS=1`` in the environment to also print the totals after
-each experiment.
+set ``SOLVER_STATS=1`` in the environment to also print the totals and the
+ambient metrics-registry snapshot after each experiment.  ``MEDEA_TRACE=1``
+(honoured by ``benchmarks/conftest.py``) additionally records the
+structured event trace to ``MEDEA_TRACE_OUT``.
 """
 
 from __future__ import annotations
 
 import os
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro import (
@@ -39,7 +40,7 @@ from repro import (
 )
 from repro.core.requests import LRARequest
 from repro.metrics import evaluate_violations
-from repro.solver import SolverStats
+from repro.obs import SolverStats
 from repro.workloads import fill_cluster
 
 #: Global scale multiplier for benchmark cluster sizes (1.0 = default).
@@ -112,9 +113,8 @@ def run_placement_experiment(
         batch = list(population[start:start + batch_size])
         for request in batch:
             manager.register_application(request)
-        begin = time.perf_counter()
-        result = scheduler.place(batch, state, manager)
-        cycle_times.append(time.perf_counter() - begin)
+        result = scheduler.timed_place(batch, state, manager, now=float(start))
+        cycle_times.append(result.solve_time_s)
         if result.solver_stats is not None:
             if solver_totals is None:
                 solver_totals = SolverStats(solves=0)
@@ -134,7 +134,14 @@ def run_placement_experiment(
 
     report = evaluate_violations(state, manager=manager)
     if solver_totals is not None and os.environ.get("SOLVER_STATS"):
+        from repro.obs.metrics import get_metrics
+        from repro.obs.report import render_metrics, render_timers
+
         print(f"[{scheduler.name}] {solver_totals.summary()}")
+        snapshot = get_metrics().snapshot()
+        print(render_metrics(snapshot))
+        if snapshot["timers"]:
+            print(render_timers(snapshot))
     return ExperimentResult(
         violation_fraction=report.violation_fraction,
         fragmentation_fraction=state.fragmented_node_fraction(),

@@ -59,6 +59,15 @@ from .core import (
     parse_constraint,
 )
 from .metrics import BoxStats, evaluate_violations
+from .obs import (
+    DecisionAudit,
+    JsonlSink,
+    MemorySink,
+    Metrics,
+    SolverStats,
+    TraceEvent,
+    Tracer,
+)
 from .taskscheduler import CapacityScheduler, FairScheduler, FifoScheduler
 
 __version__ = "1.0.0"
@@ -114,4 +123,12 @@ __all__ = [
     # metrics
     "BoxStats",
     "evaluate_violations",
+    # observability
+    "DecisionAudit",
+    "JsonlSink",
+    "MemorySink",
+    "Metrics",
+    "SolverStats",
+    "TraceEvent",
+    "Tracer",
 ]

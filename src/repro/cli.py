@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four commands, each a thin wrapper over the library:
+Five commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -9,6 +9,12 @@ Four commands, each a thin wrapper over the library:
   violations / fragmentation / latency table.
 * ``simulate`` — run a mixed LRA + batch workload through the two-scheduler
   simulation and report placement quality and task latency.
+* ``trace-report`` — summarise a JSONL trace produced by ``MEDEA_TRACE=1``
+  or ``--trace-out``.
+
+Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``)
+or pass ``--trace-out FILE`` to ``compare``/``simulate`` to record the
+structured event stream; a metrics summary is printed after the run.
 """
 
 from __future__ import annotations
@@ -38,12 +44,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--racks", type=int, default=6)
     p_compare.add_argument("--instances", type=int, default=8)
     p_compare.add_argument("--max-rs-per-node", type=int, default=3)
+    p_compare.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record the structured event trace to this JSONL file",
+    )
 
     p_sim = sub.add_parser("simulate", help="run a mixed-workload simulation")
     p_sim.add_argument("--nodes", type=int, default=40)
     p_sim.add_argument("--horizon", type=float, default=90.0)
     p_sim.add_argument("--lras", type=int, default=3)
     p_sim.add_argument("--tasks", type=int, default=100)
+    p_sim.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record the structured event trace to this JSONL file",
+    )
+
+    p_trace = sub.add_parser(
+        "trace-report", help="summarise a MEDEA_TRACE JSONL trace file"
+    )
+    p_trace.add_argument("trace_file", help="path to the .jsonl trace")
     return parser
 
 
@@ -165,18 +184,62 @@ def _cmd_simulate(nodes: int, horizon: float, lras: int, tasks: int) -> int:
     return 0
 
 
+def _cmd_trace_report(trace_file: str) -> int:
+    from .obs.report import render_trace_report
+
+    try:
+        print(render_trace_report(trace_file))
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _configure_tracing(args: argparse.Namespace) -> bool:
+    """Honour MEDEA_TRACE / MEDEA_TRACE_OUT and the --trace-out flag.
+    Returns True when an enabled tracer is installed for this invocation."""
+    from .obs.trace import configure, configure_from_env, get_tracer
+
+    configure_from_env()
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        configure(jsonl_path=trace_out)
+    return get_tracer().enabled
+
+
+def _finish_tracing() -> None:
+    """Flush the trace file and print the metrics summary."""
+    from .obs.metrics import get_metrics
+    from .obs.report import render_metrics, render_timers
+    from .obs.trace import get_tracer
+
+    get_tracer().close()
+    snapshot = get_metrics().snapshot()
+    print()
+    print(render_metrics(snapshot))
+    if snapshot["timers"]:
+        print(render_timers(snapshot))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "parse":
         return _cmd_parse(args.constraint)
+    if args.command == "trace-report":
+        return _cmd_trace_report(args.trace_file)
+    tracing = _configure_tracing(args)
     if args.command == "compare":
-        return _cmd_compare(args.nodes, args.racks, args.instances,
-                            args.max_rs_per_node)
-    if args.command == "simulate":
-        return _cmd_simulate(args.nodes, args.horizon, args.lras, args.tasks)
-    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+        status = _cmd_compare(args.nodes, args.racks, args.instances,
+                              args.max_rs_per_node)
+    elif args.command == "simulate":
+        status = _cmd_simulate(args.nodes, args.horizon, args.lras, args.tasks)
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled command {args.command}")
+    if tracing:
+        _finish_tracing()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,8 +26,16 @@ import random
 from typing import Sequence
 
 from ..cluster.state import ClusterState
+from ..obs.audit import (
+    PRUNE_CAPACITY,
+    PRUNE_CONSTRAINT,
+    CandidatePruned,
+    ContainerDecision,
+    DecisionAudit,
+)
 from .constraint_manager import ConstraintManager
 from .constraints import PlacementConstraint
+from .dsl import format_constraint
 from .requests import ContainerRequest, LRARequest
 from .scheduler import (
     ContainerPlacement,
@@ -91,13 +99,23 @@ def relevant_constraints(
 
 
 class GreedyScheduler(LRAScheduler):
-    """Shared greedy placement loop; subclasses choose the container order."""
+    """Shared greedy placement loop; subclasses choose the container order.
+
+    ``audit=True`` attaches a :class:`~repro.obs.DecisionAudit` to every
+    result: per container, the candidates considered, the nodes pruned by
+    capacity, the constraint-violating candidates (with the responsible
+    constraint in canonical notation and its Eq.-8 extent), and the chosen
+    node's score terms.  Off by default — auditing does extra
+    per-constraint scoring work inside the placement loop.
+    """
 
     name = "greedy"
 
-    def __init__(self) -> None:
+    def __init__(self, *, audit: bool = False) -> None:
         # tags -> relevant constraint subset, valid for one place() call.
         self._relevant_cache: dict[frozenset[str], list[PlacementConstraint]] = {}
+        self.audit_enabled = audit
+        self._audit: DecisionAudit | None = None
 
     def _relevant(
         self, constraints: Sequence[PlacementConstraint], tags: frozenset[str]
@@ -113,11 +131,14 @@ class GreedyScheduler(LRAScheduler):
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
     ) -> PlacementResult:
         result = PlacementResult()
         if not requests:
             return result
         self._relevant_cache = {}
+        self._audit = DecisionAudit(self.name) if self.audit_enabled else None
         constraints = _gather_constraints(requests, manager)
         # (request index, container) work items, in the subclass's order;
         # select_next allows dynamic re-prioritisation between placements
@@ -130,7 +151,14 @@ class GreedyScheduler(LRAScheduler):
                 request = requests[req_index]
                 if request.app_id in failed_apps:
                     continue
-                node_id = self.pick_node(container, constraints, state)
+                decision = (
+                    self._audit.new_decision(request.app_id, container.container_id)
+                    if self._audit is not None
+                    else None
+                )
+                node_id = self.pick_node(
+                    container, constraints, state, decision=decision
+                )
                 if node_id is None:
                     failed_apps.add(request.app_id)
                     scratch.unplace_app(request.app_id)
@@ -139,6 +167,8 @@ class GreedyScheduler(LRAScheduler):
                 self.after_placement(container, node_id)
             result.placements = list(scratch.placements)
         result.rejected_apps = sorted(failed_apps)
+        result.audit = self._audit
+        self._audit = None
         return result
 
     # -- extension points --------------------------------------------------
@@ -170,23 +200,74 @@ class GreedyScheduler(LRAScheduler):
         container: ContainerRequest,
         constraints: Sequence[PlacementConstraint],
         state: ClusterState,
+        *,
+        decision: ContainerDecision | None = None,
     ) -> str | None:
         """Feasible node minimising additional violation extent; ties broken
-        toward the node with the most free memory."""
+        toward the node with the most free memory.
+
+        When ``decision`` is given, every pruned/penalised candidate is
+        recorded into it (capacity misfits, and constraint-violating nodes
+        attributed to the specific responsible constraints).
+        """
         relevant = self._relevant(constraints, container.tags)
         best_node: str | None = None
         best_key: tuple[float, float] | None = None
         for node in state.topology:
+            if decision is not None:
+                decision.considered += 1
             if not node.can_fit(container.resource):
+                if decision is not None:
+                    decision.pruned.append(
+                        CandidatePruned(node.node_id, PRUNE_CAPACITY)
+                    )
                 continue
             delta = state.placement_delta_violations(
                 relevant, node.node_id, container.tags
             )
+            if decision is not None:
+                if delta > 0:
+                    self._audit_violating_candidate(
+                        decision, relevant, node.node_id, container, state
+                    )
+                else:
+                    decision.feasible += 1
             key = (delta, -node.free.memory_mb)
             if best_key is None or key < best_key:
                 best_key = key
                 best_node = node.node_id
+        if decision is not None and best_node is not None:
+            decision.chosen_node = best_node
+            assert best_key is not None
+            decision.score_terms = {
+                "violation_delta": best_key[0],
+                "free_memory_mb": -best_key[1],
+            }
         return best_node
+
+    def _audit_violating_candidate(
+        self,
+        decision: ContainerDecision,
+        relevant: Sequence[PlacementConstraint],
+        node_id: str,
+        container: ContainerRequest,
+        state: ClusterState,
+    ) -> None:
+        """Attribute a positive violation delta to the responsible
+        constraints (one audit entry per contributing constraint)."""
+        for constraint in relevant:
+            extent = state.placement_delta_violations(
+                [constraint], node_id, container.tags
+            )
+            if extent > 0:
+                decision.pruned.append(
+                    CandidatePruned(
+                        node_id,
+                        PRUNE_CONSTRAINT,
+                        constraint=format_constraint(constraint),
+                        extent=extent,
+                    )
+                )
 
 
 class SerialScheduler(GreedyScheduler):
@@ -241,18 +322,18 @@ class NodeCandidatesScheduler(GreedyScheduler):
 
     name = "MEDEA-NC"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, *, audit: bool = False) -> None:
+        super().__init__(audit=audit)
         self._pending: list[tuple[int, ContainerRequest]] = []
         self._constraints: Sequence[PlacementConstraint] = ()
         self._state: ClusterState | None = None
         #: container id -> set of violation-free feasible nodes.
         self._candidates: dict[str, set[str]] = {}
 
-    def place(self, requests, state, manager):  # type: ignore[override]
+    def place(self, requests, state, manager, *, now=0.0):  # type: ignore[override]
         self._state = state
         try:
-            return super().place(requests, state, manager)
+            return super().place(requests, state, manager, now=now)
         finally:
             self._state = None
             self._pending = []
@@ -374,6 +455,8 @@ class ConstraintUnawareScheduler(LRAScheduler):
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
     ) -> PlacementResult:
         result = PlacementResult()
         failed: set[str] = set()

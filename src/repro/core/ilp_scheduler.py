@@ -12,7 +12,9 @@ from typing import Sequence
 
 from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
-from ..solver import BnBOptions, HighsOptions, SolverStats, solve
+from ..obs.audit import PRUNE_CANDIDATE_POOL, CandidatePruned, DecisionAudit
+from ..obs.metrics import SolverStats, get_metrics
+from ..solver import BnBOptions, HighsOptions, solve
 from .constraint_manager import ConstraintManager
 from .ilp import IlpFormulation, IlpWeights
 from .requests import LRARequest
@@ -67,6 +69,7 @@ class IlpScheduler(LRAScheduler):
         mip_rel_gap: float = 1e-6,
         max_candidate_nodes: int | None = None,
         bnb_options: BnBOptions | None = None,
+        audit: bool = False,
     ) -> None:
         self.weights = weights or IlpWeights()
         self.backend = backend
@@ -75,6 +78,7 @@ class IlpScheduler(LRAScheduler):
         self.mip_rel_gap = mip_rel_gap
         self.max_candidate_nodes = max_candidate_nodes
         self.bnb_options = bnb_options
+        self.audit_enabled = audit
         #: Diagnostics from the last invocation.
         self.last_formulation: IlpFormulation | None = None
         #: Solver effort breakdown from the last invocation.
@@ -85,16 +89,19 @@ class IlpScheduler(LRAScheduler):
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
     ) -> PlacementResult:
         if not requests:
             return PlacementResult()
+        pool = self._candidate_pool(requests, state, manager)
         formulation = IlpFormulation(
             requests,
             state,
             manager,
             weights=self.weights,
             rmin=self.rmin,
-            candidate_nodes=self._candidate_pool(requests, state, manager),
+            candidate_nodes=pool,
         )
         formulation.build()
         if self.backend == "bnb":
@@ -109,7 +116,59 @@ class IlpScheduler(LRAScheduler):
         solution = solve(formulation.model, backend=self.backend, options=options)
         self.last_formulation = formulation
         self.last_stats = solution.stats
-        return formulation.extract(solution)
+        result = formulation.extract(solution)
+        # Fold the solve's effort breakdown into the generic metrics channel
+        # (the PR-1 hand-threaded path lives on via result.solver_stats).
+        if solution.stats is not None:
+            solution.stats.record_to(get_metrics(), scheduler=self.name)
+        if self.audit_enabled:
+            result.audit = self._build_audit(
+                requests, state, pool, formulation, solution, result
+            )
+        return result
+
+    def _build_audit(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        pool: list[str] | None,
+        formulation: IlpFormulation,
+        solution,
+        result: PlacementResult,
+    ) -> DecisionAudit:
+        """Explain the batch solve: candidate-pool pruning, the weighted
+        objective, and the per-container node assignments."""
+        audit = DecisionAudit(self.name)
+        considered = len(formulation.nodes)
+        audit.objective_terms = {
+            "objective": float(result.objective or 0.0),
+            "w1_placement": self.weights.w1_placement,
+            "w2_violations": self.weights.w2_violations,
+            "w3_fragmentation": self.weights.w3_fragmentation,
+            "w4_machines": self.weights.w4_machines,
+            "candidate_pool": float(considered),
+            "milp_variables": float(formulation.model.num_variables),
+            "milp_constraints": float(formulation.model.num_constraints),
+        }
+        pooled_out: list[CandidatePruned] = []
+        if pool is not None:
+            in_pool = set(pool)
+            pooled_out = [
+                CandidatePruned(node.node_id, PRUNE_CANDIDATE_POOL)
+                for node in state.topology
+                if node.node_id not in in_pool
+            ]
+        placed_node = {p.container_id: p.node_id for p in result.placements}
+        for request in requests:
+            for container in request.containers:
+                decision = audit.new_decision(request.app_id, container.container_id)
+                decision.considered = considered + len(pooled_out)
+                decision.feasible = considered
+                decision.pruned = list(pooled_out)
+                decision.chosen_node = placed_node.get(container.container_id)
+                if decision.chosen_node is not None and result.objective is not None:
+                    decision.score_terms = {"objective": float(result.objective)}
+        return audit
 
     def _candidate_pool(
         self,

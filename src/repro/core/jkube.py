@@ -24,6 +24,12 @@ from typing import Sequence
 
 from ..cluster.node import Node
 from ..cluster.state import ClusterState
+from ..obs.audit import (
+    PRUNE_CAPACITY,
+    CandidatePruned,
+    ContainerDecision,
+    DecisionAudit,
+)
 from .constraint_manager import ConstraintManager
 from .constraints import (
     UNBOUNDED,
@@ -80,15 +86,21 @@ class JKubeScheduler(LRAScheduler):
     #: Subclass knob: whether cardinality constraints are evaluated exactly.
     supports_cardinality = False
 
+    def __init__(self, *, audit: bool = False) -> None:
+        self.audit_enabled = audit
+
     def place(
         self,
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
     ) -> PlacementResult:
         result = PlacementResult()
         if not requests:
             return result
+        audit = DecisionAudit(self.name) if self.audit_enabled else None
         constraints = self._effective_constraints(requests, manager)
         failed: set[str] = set()
         with ScratchPlacements(state) as scratch:
@@ -96,7 +108,14 @@ class JKubeScheduler(LRAScheduler):
                 for container in request.containers:
                     if request.app_id in failed:
                         break
-                    node_id = self._schedule_one(container, constraints, state)
+                    decision = (
+                        audit.new_decision(request.app_id, container.container_id)
+                        if audit is not None
+                        else None
+                    )
+                    node_id = self._schedule_one(
+                        container, constraints, state, decision=decision
+                    )
                     if node_id is None:
                         failed.add(request.app_id)
                         scratch.unplace_app(request.app_id)
@@ -104,6 +123,7 @@ class JKubeScheduler(LRAScheduler):
                     scratch.place(container, node_id, request.app_id)
             result.placements = list(scratch.placements)
         result.rejected_apps = sorted(failed)
+        result.audit = audit
         return result
 
     def _effective_constraints(
@@ -126,17 +146,30 @@ class JKubeScheduler(LRAScheduler):
         container: ContainerRequest,
         constraints: Sequence[PlacementConstraint],
         state: ClusterState,
+        *,
+        decision: ContainerDecision | None = None,
     ) -> str | None:
         constraints = relevant_constraints(constraints, container.tags)
         best_node: str | None = None
         best_score = float("-inf")
         for node in state.topology:
+            if decision is not None:
+                decision.considered += 1
             if not node.can_fit(container.resource):
+                if decision is not None:
+                    decision.pruned.append(
+                        CandidatePruned(node.node_id, PRUNE_CAPACITY)
+                    )
                 continue  # filter phase
+            if decision is not None:
+                decision.feasible += 1
             score = self._score(node, container, constraints, state)
             if score > best_score:
                 best_score = score
                 best_node = node.node_id
+        if decision is not None and best_node is not None:
+            decision.chosen_node = best_node
+            decision.score_terms = {"kube_score": best_score}
         return best_node
 
     def _score(

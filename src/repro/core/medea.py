@@ -18,21 +18,49 @@ Flow per scheduling cycle (Fig. 4 steps 1–3):
 The ``ilp_all`` mode removes the two-scheduler split: task requests are
 wrapped as single-container LRAs and pushed through the LRA scheduler,
 reproducing the ILP-ALL baseline of Fig. 11b.
+
+Observability: the facade emits the LRA lifecycle trace (``lra.submit`` /
+``lra.place`` / ``lra.reject`` / ``lra.conflict`` / ``lra.resubmit`` /
+``lra.drop`` / ``lra.complete``) and the cycle envelope (``cycle.start`` /
+``cycle.end``), and keeps lifecycle counters in the ambient metrics
+registry.  Clock arguments follow the unified convention — keyword-only
+``now: float`` — with a deprecation shim accepting the legacy positional
+form.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+import warnings
+from dataclasses import dataclass
 
-from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
+from ..obs.events import EventKind
+from ..obs.metrics import Metrics, get_metrics
+from ..obs.trace import Tracer, get_tracer
 from ..taskscheduler.base import PlacementConflictError, TaskBasedScheduler
 from .constraint_manager import ConstraintManager
 from .requests import ContainerRequest, LRARequest, TaskRequest
 from .scheduler import LRAScheduler, PlacementResult
 
 __all__ = ["MedeaScheduler", "LraOutcome"]
+
+
+def _shim_now(method: str, args: tuple, now: float) -> float:
+    """Deprecation shim: accept the legacy positional clock argument."""
+    if not args:
+        return now
+    if len(args) > 1:
+        raise TypeError(
+            f"{method}() takes at most one positional clock argument "
+            f"({len(args)} extra given)"
+        )
+    warnings.warn(
+        f"passing 'now' positionally to {method}() is deprecated; "
+        "use the keyword-only form now=<time>",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return float(args[0])
 
 
 @dataclass
@@ -65,6 +93,8 @@ class MedeaScheduler:
         max_attempts: int = 3,
         ilp_all: bool = False,
         max_batch_size: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         if task_scheduler.state is not state:
             raise ValueError("task scheduler must share the Medea cluster state")
@@ -84,23 +114,49 @@ class MedeaScheduler:
         #: Wall-clock solve time of each LRA scheduling cycle.
         self.cycle_solve_times: list[float] = []
         self._last_cycle_time: float = 0.0
+        #: Explicit tracer/metrics; ``None`` falls back to the ambient ones.
+        self._tracer = tracer
+        self._metrics = metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics if self._metrics is not None else get_metrics()
 
     # -- submission routing (the LRA interface, §3) -----------------------------
 
-    def submit_lra(self, request: LRARequest, now: float = 0.0) -> None:
+    def submit_lra(self, request: LRARequest, *args, now: float = 0.0) -> None:
         """Queue an LRA for the next scheduling cycle and register its
         constraints with the constraint manager."""
+        now = _shim_now("submit_lra", args, now)
         self.manager.register_application(request)
         self._pending.append(request)
         self.outcomes.setdefault(request.app_id, LraOutcome(request.app_id, now))
+        self.metrics.counter("lra_submitted_total").inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.LRA_SUBMIT,
+                time=now,
+                data={
+                    "app_id": request.app_id,
+                    "containers": len(request.containers),
+                    "constraints": len(request.constraints)
+                    + len(request.compound_constraints),
+                },
+            )
 
-    def submit_task(self, task: TaskRequest, now: float = 0.0) -> None:
+    def submit_task(self, task: TaskRequest, *args, now: float = 0.0) -> None:
         """Route a plain task request.
 
         Normally it goes straight to the task-based scheduler; under
         ``ilp_all`` it is wrapped as a constraint-free single-container LRA
         and waits for the optimisation cycle like everything else.
         """
+        now = _shim_now("submit_task", args, now)
         if not self.ilp_all:
             self.task_scheduler.submit(task, now)
             return
@@ -114,17 +170,19 @@ class MedeaScheduler:
                 )
             ],
         )
-        self.submit_lra(wrapped, now)
+        self.submit_lra(wrapped, now=now)
 
     def pending_lras(self) -> int:
         return len(self._pending)
 
     # -- the scheduling cycle -----------------------------------------------------
 
-    def run_cycle(self, now: float = 0.0) -> PlacementResult:
+    def run_cycle(self, *args, now: float = 0.0) -> PlacementResult:
         """Invoke the LRA scheduler on everything queued since the last
         cycle, then allocate through the task-based scheduler."""
+        now = _shim_now("run_cycle", args, now)
         self._last_cycle_time = now
+        tracer = self.tracer
         if not self._pending:
             return PlacementResult()
         if self.max_batch_size is None:
@@ -132,43 +190,125 @@ class MedeaScheduler:
         else:
             batch = self._pending[: self.max_batch_size]
             self._pending = self._pending[self.max_batch_size:]
-        result = self.lra_scheduler.timed_place(batch, self.state, self.manager)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.CYCLE_START,
+                time=now,
+                data={
+                    "scheduler": self.lra_scheduler.name,
+                    "batch": sorted(r.app_id for r in batch),
+                    "still_pending": len(self._pending),
+                },
+            )
+        result = self.lra_scheduler.timed_place(
+            batch, self.state, self.manager, now=now, metrics=self.metrics,
+            tracer=tracer,
+        )
         self.cycle_solve_times.append(result.solve_time_s)
+        metrics = self.metrics
+        metrics.timer("medea_cycle_seconds").observe(result.solve_time_s)
 
         by_app: dict[str, list] = {}
         for placement in result.placements:
             by_app.setdefault(placement.app_id, []).append(placement)
 
         requests_by_id = {r.app_id: r for r in batch}
+        placed_apps: list[str] = []
+        conflicted_apps: list[str] = []
         for app_id, placements in by_app.items():
             outcome = self.outcomes[app_id]
             outcome.attempts += 1
             try:
                 self.task_scheduler.apply_lra_placements(placements)
             except PlacementConflictError:
-                self._resubmit(requests_by_id[app_id], outcome)
+                conflicted_apps.append(app_id)
+                metrics.counter("lra_conflicts_total").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.LRA_CONFLICT,
+                        time=now,
+                        data={"app_id": app_id, "attempt": outcome.attempts},
+                    )
+                self._resubmit(requests_by_id[app_id], outcome, now)
             else:
                 outcome.placed_time = now
+                placed_apps.append(app_id)
+                metrics.counter("lra_placed_total").inc()
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.LRA_PLACE,
+                        time=now,
+                        data={
+                            "app_id": app_id,
+                            "attempt": outcome.attempts,
+                            "nodes": sorted({p.node_id for p in placements}),
+                            "containers": len(placements),
+                        },
+                    )
 
         for app_id in result.rejected_apps:
             outcome = self.outcomes[app_id]
             outcome.attempts += 1
-            self._resubmit(requests_by_id[app_id], outcome)
+            metrics.counter("lra_rejected_total").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.LRA_REJECT,
+                    time=now,
+                    data={"app_id": app_id, "attempt": outcome.attempts},
+                )
+            self._resubmit(requests_by_id[app_id], outcome, now)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.CYCLE_END,
+                time=now,
+                data={
+                    "scheduler": self.lra_scheduler.name,
+                    "placed": sorted(placed_apps),
+                    "rejected": sorted(result.rejected_apps),
+                    "conflicted": sorted(conflicted_apps),
+                },
+                wall={"solve_time_s": result.solve_time_s},
+            )
         return result
 
-    def _resubmit(self, request: LRARequest, outcome: LraOutcome) -> None:
+    def _resubmit(
+        self, request: LRARequest, outcome: LraOutcome, now: float = 0.0
+    ) -> None:
+        tracer = self.tracer
         if outcome.attempts >= self.max_attempts:
             outcome.dropped = True
             self.manager.unregister_application(request.app_id)
+            self.metrics.counter("lra_dropped_total").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.LRA_DROP,
+                    time=now,
+                    data={"app_id": request.app_id, "attempts": outcome.attempts},
+                )
             return
         self._pending.append(request)
+        self.metrics.counter("lra_resubmitted_total").inc()
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.LRA_RESUBMIT,
+                time=now,
+                data={"app_id": request.app_id, "attempt": outcome.attempts},
+            )
 
     # -- LRA teardown -----------------------------------------------------------
 
-    def complete_lra(self, app_id: str) -> None:
+    def complete_lra(self, app_id: str, *, now: float = 0.0) -> None:
         """Release an LRA's containers and drop its constraints."""
-        self.state.release_application(app_id)
+        released = self.state.release_application(app_id)
         self.manager.unregister_application(app_id)
+        self.metrics.counter("lra_completed_total").inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.LRA_COMPLETE,
+                time=now,
+                data={"app_id": app_id, "containers": len(released)},
+            )
 
     # -- heartbeats --------------------------------------------------------------
 

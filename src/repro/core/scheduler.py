@@ -12,13 +12,18 @@ cluster state and rolls every one of them back on exit.
 from __future__ import annotations
 
 import abc
+import inspect
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
-from ..solver import SolverStats
+from ..obs.audit import DecisionAudit
+from ..obs.events import EventKind
+from ..obs.metrics import Metrics, SolverStats, get_metrics
+from ..obs.trace import get_tracer
 from .constraint_manager import ConstraintManager
 from .requests import ContainerRequest, LRARequest
 
@@ -55,6 +60,9 @@ class PlacementResult:
     #: MILP effort breakdown when an ILP backend produced this result
     #: (``None`` for the heuristic schedulers).
     solver_stats: SolverStats | None = None
+    #: Decision audit (candidates considered, constraints that pruned them,
+    #: objective terms) when the scheduler ran with auditing enabled.
+    audit: DecisionAudit | None = None
 
     def placed_apps(self) -> set[str]:
         return {p.app_id for p in self.placements}
@@ -72,30 +80,119 @@ class LRAScheduler(abc.ABC):
     #: Human-readable algorithm name used in benchmark tables.
     name: str = "abstract"
 
+    #: When True, :meth:`place` implementations that support auditing attach
+    #: a :class:`~repro.obs.DecisionAudit` to their result.
+    audit_enabled: bool = False
+
+    #: "does this ``place`` accept ``now``?", cached per implementation
+    #: function (not per class — a subclass may override with the legacy
+    #: signature); supports the positional-compat shim.
+    _place_accepts_now_cache: dict[object, bool] = {}
+
     @abc.abstractmethod
     def place(
         self,
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
     ) -> PlacementResult:
         """Compute placements for a batch of newly submitted LRAs.
+
+        ``now`` is the logical submission clock of the invoking cycle,
+        keyword-only by the unified clock-argument convention; pure batch
+        algorithms may ignore it (it stamps trace events).
 
         Implementations must not leave any tentative allocation behind in
         ``state``; the returned placements are applied later by the
         task-based scheduler.
         """
 
+    @classmethod
+    def _accepts_now(cls) -> bool:
+        func = cls.place
+        cached = LRAScheduler._place_accepts_now_cache.get(func)
+        if cached is None:
+            try:
+                parameters = inspect.signature(func).parameters
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                cached = False
+            else:
+                cached = "now" in parameters or any(
+                    p.kind is inspect.Parameter.VAR_KEYWORD
+                    for p in parameters.values()
+                )
+            LRAScheduler._place_accepts_now_cache[func] = cached
+        return cached
+
+    def _call_place(
+        self,
+        requests: Sequence[LRARequest],
+        state: ClusterState,
+        manager: ConstraintManager,
+        now: float,
+    ) -> PlacementResult:
+        """Invoke :meth:`place`, tolerating pre-redesign overrides that do
+        not yet accept the keyword-only ``now`` (deprecation shim)."""
+        if type(self)._accepts_now():
+            return self.place(requests, state, manager, now=now)
+        warnings.warn(
+            f"{type(self).__name__}.place() without the keyword-only 'now' "
+            "parameter is deprecated; add '*, now: float = 0.0'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return self.place(requests, state, manager)
+
     def timed_place(
         self,
         requests: Sequence[LRARequest],
         state: ClusterState,
         manager: ConstraintManager,
+        *,
+        now: float = 0.0,
+        metrics: Metrics | None = None,
+        tracer=None,
     ) -> PlacementResult:
-        """:meth:`place` wrapped with wall-clock measurement."""
+        """:meth:`place` wrapped with wall-clock measurement.
+
+        The measurement is also recorded into the ambient (or given)
+        :class:`~repro.obs.Metrics` registry under the
+        ``scheduler_place_seconds`` timer, labelled with the algorithm name
+        — the uniform channel Fig. 11a-style latency studies read — and a
+        ``scheduler.place`` trace event is emitted when tracing is on
+        (through ``tracer``, or the ambient one).
+        """
         start = time.perf_counter()
-        result = self.place(requests, state, manager)
+        result = self._call_place(requests, state, manager, now)
         result.solve_time_s = time.perf_counter() - start
+        registry = metrics if metrics is not None else get_metrics()
+        registry.timer("scheduler_place_seconds").observe(
+            result.solve_time_s, scheduler=self.name
+        )
+        if result.placements:
+            registry.counter("scheduler_containers_placed_total").inc(
+                len(result.placements), scheduler=self.name
+            )
+        if result.rejected_apps:
+            registry.counter("scheduler_apps_rejected_total").inc(
+                len(result.rejected_apps), scheduler=self.name
+            )
+        if tracer is None:
+            tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SCHEDULER_PLACE,
+                time=now,
+                data={
+                    "scheduler": self.name,
+                    "batch": len(requests),
+                    "placements": len(result.placements),
+                    "rejected": sorted(result.rejected_apps),
+                },
+                wall={"solve_time_s": result.solve_time_s},
+            )
         return result
 
 

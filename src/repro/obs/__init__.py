@@ -1,0 +1,96 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem, three capabilities (ISSUE 2 / the paper's §7 evaluation
+substrate):
+
+* **Tracing** — :class:`Tracer` emits typed, deterministic
+  :class:`TraceEvent` records (simulated-time ordered, volatile wall-clock
+  fields segregated under ``"wall"``) to :class:`JsonlSink` /
+  :class:`MemorySink` sinks.  Zero-cost when disabled: call sites guard on
+  ``tracer.enabled``.
+* **Metrics** — a :class:`Metrics` registry of labelled counters, gauges,
+  and timers with a deterministic :meth:`~Metrics.snapshot` API.
+  :class:`SolverStats` (formerly ``repro.solver.SolverStats``) is one of
+  its record types.
+* **Decision audit** — :class:`DecisionAudit` attached to
+  ``PlacementResult`` explains each placement: candidates considered,
+  constraints that pruned them, and the winning score/objective terms.
+
+Ambient configuration::
+
+    from repro import obs
+    tracer = obs.configure(jsonl_path="trace.jsonl")   # or MEDEA_TRACE=1
+    ... run a simulation ...
+    tracer.close()
+    print(obs.report.render_metrics(obs.get_metrics().snapshot()))
+"""
+
+from __future__ import annotations
+
+from . import report
+from .audit import (
+    PRUNE_CANDIDATE_POOL,
+    PRUNE_CAPACITY,
+    PRUNE_CONSTRAINT,
+    PRUNE_UNAVAILABLE,
+    CandidatePruned,
+    ContainerDecision,
+    DecisionAudit,
+)
+from .events import WALL_KEY, EventKind, TraceEvent, canonical
+from .metrics import (
+    Counter,
+    Gauge,
+    Metrics,
+    SolverStats,
+    Timer,
+    TimerStat,
+    get_metrics,
+    set_metrics,
+)
+from .trace import (
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    TraceSink,
+    configure,
+    configure_from_env,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    # events
+    "EventKind",
+    "TraceEvent",
+    "canonical",
+    "WALL_KEY",
+    # tracer + sinks
+    "Tracer",
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "get_tracer",
+    "set_tracer",
+    "configure",
+    "configure_from_env",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Timer",
+    "TimerStat",
+    "Metrics",
+    "SolverStats",
+    "get_metrics",
+    "set_metrics",
+    # decision audit
+    "DecisionAudit",
+    "ContainerDecision",
+    "CandidatePruned",
+    "PRUNE_CAPACITY",
+    "PRUNE_UNAVAILABLE",
+    "PRUNE_CONSTRAINT",
+    "PRUNE_CANDIDATE_POOL",
+    # renderers
+    "report",
+]

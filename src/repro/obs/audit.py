@@ -1,0 +1,133 @@
+"""Scheduler decision audit: *why* a placement decision was made.
+
+Every LRA scheduler can attach a :class:`DecisionAudit` to its
+:class:`~repro.core.scheduler.PlacementResult`.  The audit records, per
+container, which candidate nodes were considered, which were pruned and by
+what (capacity, unavailability, or a specific constraint with its violation
+extent), the chosen node, and the score/objective terms behind the choice.
+Batch-level objective terms (the ILP's weighted objective value, candidate
+pool size) live on the audit itself.
+
+Audit collection costs extra work inside the placement loops, so it is
+opt-in per scheduler (``audit=True``) and off by default — the disabled
+path adds a single attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "PRUNE_CAPACITY",
+    "PRUNE_UNAVAILABLE",
+    "PRUNE_CONSTRAINT",
+    "PRUNE_CANDIDATE_POOL",
+    "CandidatePruned",
+    "ContainerDecision",
+    "DecisionAudit",
+]
+
+#: Reasons a candidate node was pruned / penalised.
+PRUNE_CAPACITY = "capacity"
+PRUNE_UNAVAILABLE = "unavailable"
+PRUNE_CONSTRAINT = "constraint"
+PRUNE_CANDIDATE_POOL = "candidate-pool"
+
+
+@dataclass(frozen=True)
+class CandidatePruned:
+    """One candidate node ruled out (or penalised) for one container."""
+
+    node_id: str
+    reason: str
+    #: Canonical form of the responsible constraint (``reason=constraint``).
+    constraint: str | None = None
+    #: Violation extent the placement would have incurred (Eq. 8 units).
+    extent: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        obj: dict[str, Any] = {"node": self.node_id, "reason": self.reason}
+        if self.constraint is not None:
+            obj["constraint"] = self.constraint
+        if self.extent:
+            obj["extent"] = self.extent
+        return obj
+
+
+@dataclass
+class ContainerDecision:
+    """The candidate evaluation for one container."""
+
+    app_id: str
+    container_id: str
+    #: Nodes evaluated (before any pruning).
+    considered: int = 0
+    #: Nodes that passed every filter (could host without new violations).
+    feasible: int = 0
+    pruned: list[CandidatePruned] = field(default_factory=list)
+    chosen_node: str | None = None
+    #: Score terms behind the choice (algorithm-specific keys, e.g.
+    #: ``violation_delta`` / ``free_memory_mb`` for the greedy family).
+    score_terms: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> bool:
+        return self.chosen_node is None
+
+    def pruned_by(self, reason: str) -> list[CandidatePruned]:
+        return [p for p in self.pruned if p.reason == reason]
+
+    def pruning_constraints(self) -> list[str]:
+        """Canonical constraints that ruled out at least one candidate."""
+        seen: dict[str, None] = {}
+        for p in self.pruned:
+            if p.constraint is not None:
+                seen.setdefault(p.constraint)
+        return list(seen)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app_id,
+            "container": self.container_id,
+            "considered": self.considered,
+            "feasible": self.feasible,
+            "pruned": [p.to_dict() for p in self.pruned],
+            "chosen": self.chosen_node,
+            "score_terms": dict(self.score_terms),
+        }
+
+
+@dataclass
+class DecisionAudit:
+    """Audit of one scheduler invocation over a batch of LRAs."""
+
+    scheduler: str
+    decisions: list[ContainerDecision] = field(default_factory=list)
+    #: Batch-level objective terms (e.g. the ILP's objective value and
+    #: per-weight contributions, or candidate-pool sizing).
+    objective_terms: dict[str, float] = field(default_factory=dict)
+
+    def new_decision(self, app_id: str, container_id: str) -> ContainerDecision:
+        decision = ContainerDecision(app_id, container_id)
+        self.decisions.append(decision)
+        return decision
+
+    def decision_for(self, container_id: str) -> ContainerDecision | None:
+        for decision in self.decisions:
+            if decision.container_id == container_id:
+                return decision
+        return None
+
+    def decisions_of(self, app_id: str) -> list[ContainerDecision]:
+        return [d for d in self.decisions if d.app_id == app_id]
+
+    def rejections(self) -> list[ContainerDecision]:
+        return [d for d in self.decisions if d.rejected]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "objective_terms": dict(self.objective_terms),
+            "decisions": [d.to_dict() for d in self.decisions],
+        }

@@ -1,0 +1,329 @@
+"""Counters, gauges, and timers with label support, plus a snapshot API.
+
+The :class:`Metrics` registry is the repo's one generic telemetry channel:
+instead of hand-threading bespoke stats records component → scheduler →
+result → harness (the PR-1 ``SolverStats`` plumbing), instrumented code
+records into the ambient registry and consumers read a :meth:`snapshot`.
+
+Instruments are label-aware: ``metrics.counter("lra_placed_total").inc(
+scheduler="MEDEA-ILP")`` keeps one value per label set.  Labels are
+canonicalised (sorted ``key=value`` pairs) so snapshots are deterministic.
+
+:class:`SolverStats` — the MILP effort breakdown both solver backends
+produce — lives here as one of the metric types; ``repro.solver`` keeps a
+deprecation alias so existing imports continue to work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "TimerStat",
+    "Metrics",
+    "SolverStats",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+def _label_key(labels: Mapping[str, Any]) -> str:
+    """Canonical string form of a label set (sorted ``k=v`` pairs)."""
+    if not labels:
+        return ""
+    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+
+class _Instrument:
+    """Shared naming/labelling machinery."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, float]:
+        return {k: self._values[k] for k in sorted(self._values)}
+
+
+class Gauge(_Instrument):
+    """Last-write-wins value per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[str, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        return {k: self._values[k] for k in sorted(self._values)}
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of one timer label set."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class Timer(_Instrument):
+    """Duration aggregator (count / total / min / max) per label set."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._stats: dict[str, TimerStat] = {}
+
+    def observe(self, seconds: float, **labels: Any) -> None:
+        self._stats.setdefault(_label_key(labels), TimerStat()).observe(seconds)
+
+    def stat(self, **labels: Any) -> TimerStat:
+        return self._stats.get(_label_key(labels), TimerStat())
+
+    def time(self, **labels: Any) -> "_TimerContext":
+        return _TimerContext(self, labels)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {k: self._stats[k].to_dict() for k in sorted(self._stats)}
+
+
+class _TimerContext:
+    """``with timer.time(...):`` support."""
+
+    def __init__(self, timer: Timer, labels: Mapping[str, Any]) -> None:
+        self._timer = timer
+        self._labels = dict(labels)
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        import time as _time
+
+        self._start = _time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import time as _time
+
+        self.elapsed_s = _time.perf_counter() - self._start
+        self._timer.observe(self.elapsed_s, **self._labels)
+
+
+class Metrics:
+    """Registry of named instruments.
+
+    ``counter`` / ``gauge`` / ``timer`` are get-or-create: repeated calls
+    with the same name return the same instrument, so emitters do not need
+    to share instrument handles, only the registry.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name, help)
+        return inst
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name, help)
+        return inst
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[name] = Timer(name, help)
+        return inst
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Deterministically ordered dump of every instrument.
+
+        Shape::
+
+            {"counters": {name: {label_key: value}},
+             "gauges":   {name: {label_key: value}},
+             "timers":   {name: {label_key: {count, total_s, ...}}}}
+        """
+        return {
+            "counters": {n: self._counters[n].snapshot() for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].snapshot() for n in sorted(self._gauges)},
+            "timers": {n: self._timers[n].snapshot() for n in sorted(self._timers)},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+
+_default_metrics = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The process-wide default registry."""
+    return _default_metrics
+
+
+def set_metrics(metrics: Metrics | None) -> Metrics:
+    """Install ``metrics`` as the default (``None`` installs a fresh
+    registry); returns the previous default."""
+    global _default_metrics
+    previous = _default_metrics
+    _default_metrics = metrics if metrics is not None else Metrics()
+    return previous
+
+
+@dataclass
+class SolverStats:
+    """Where a MILP solve spent its effort.
+
+    Produced by both solver backends (branch-and-bound fills every field;
+    HiGHS reports what ``scipy.optimize.milp`` exposes, which is wall time
+    only).  Historically hand-threaded ``IlpScheduler`` → ``PlacementResult``
+    → harness; since the ``repro.obs`` redesign it is also folded into the
+    generic :class:`Metrics` channel via :meth:`record_to`.
+    """
+
+    backend: str = "bnb"
+    nodes_explored: int = 0
+    lp_solves: int = 0
+    #: Nodes pruned by bound propagation before any LP was solved.
+    lp_solves_avoided: int = 0
+    presolve_rows_removed: int = 0
+    presolve_cols_fixed: int = 0
+    presolve_bounds_tightened: int = 0
+    #: Incumbents found by the rounding primal heuristic.
+    heuristic_incumbents: int = 0
+    time_presolve_s: float = 0.0
+    time_lp_s: float = 0.0
+    time_heuristic_s: float = 0.0
+    time_total_s: float = 0.0
+    #: Number of solves merged into this record (1 for a single solve).
+    solves: int = 1
+
+    #: (counter field name) pairs recorded by :meth:`record_to`.
+    _COUNTER_FIELDS = (
+        "nodes_explored",
+        "lp_solves",
+        "lp_solves_avoided",
+        "presolve_rows_removed",
+        "presolve_cols_fixed",
+        "presolve_bounds_tightened",
+        "heuristic_incumbents",
+        "solves",
+    )
+    #: (timer phase name, wall-time field) pairs recorded by :meth:`record_to`.
+    _TIMER_FIELDS = (
+        ("presolve", "time_presolve_s"),
+        ("lp", "time_lp_s"),
+        ("heuristic", "time_heuristic_s"),
+        ("total", "time_total_s"),
+    )
+
+    def merge(self, other: "SolverStats") -> None:
+        """Accumulate ``other`` into this record (for per-experiment totals)."""
+        if self.solves == 0:
+            self.backend = other.backend
+        elif other.backend not in self.backend.split("+"):
+            self.backend = f"{self.backend}+{other.backend}"
+        self.nodes_explored += other.nodes_explored
+        self.lp_solves += other.lp_solves
+        self.lp_solves_avoided += other.lp_solves_avoided
+        self.presolve_rows_removed += other.presolve_rows_removed
+        self.presolve_cols_fixed += other.presolve_cols_fixed
+        self.presolve_bounds_tightened += other.presolve_bounds_tightened
+        self.heuristic_incumbents += other.heuristic_incumbents
+        self.time_presolve_s += other.time_presolve_s
+        self.time_lp_s += other.time_lp_s
+        self.time_heuristic_s += other.time_heuristic_s
+        self.time_total_s += other.time_total_s
+        self.solves += other.solves
+
+    def record_to(self, metrics: Metrics, **labels: Any) -> None:
+        """Fold this record into a :class:`Metrics` registry.
+
+        Effort counts go to ``solver_<field>_total`` counters and phase wall
+        times to the ``solver_phase_seconds`` timer, all labelled with the
+        backend (plus any extra ``labels``).
+        """
+        labels = {"backend": self.backend, **labels}
+        for field_name in self._COUNTER_FIELDS:
+            value = getattr(self, field_name)
+            if value:
+                metrics.counter(f"solver_{field_name}_total").inc(value, **labels)
+        phase_timer = metrics.timer("solver_phase_seconds")
+        for phase, field_name in self._TIMER_FIELDS:
+            phase_timer.observe(getattr(self, field_name), phase=phase, **labels)
+
+    def summary(self) -> str:
+        """One line suitable for benchmark output."""
+        return (
+            f"solver[{self.backend}] solves={self.solves} "
+            f"nodes={self.nodes_explored} lps={self.lp_solves} "
+            f"(avoided={self.lp_solves_avoided}) "
+            f"presolve(rows-={self.presolve_rows_removed} "
+            f"cols-={self.presolve_cols_fixed} "
+            f"tighten={self.presolve_bounds_tightened}) "
+            f"heur-inc={self.heuristic_incumbents} "
+            f"t_presolve={self.time_presolve_s * 1000:.1f}ms "
+            f"t_lp={self.time_lp_s * 1000:.1f}ms "
+            f"t_heur={self.time_heuristic_s * 1000:.1f}ms "
+            f"t_total={self.time_total_s * 1000:.1f}ms"
+        )

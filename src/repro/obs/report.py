@@ -1,0 +1,103 @@
+"""Render traces and metric snapshots as the repo's standard ASCII tables.
+
+Reuses :mod:`repro.reporting` so observability output matches the benchmark
+tables (grep-able fixed-width columns).  Used by ``python -m repro.cli
+trace-report`` and the harness's ``SOLVER_STATS=1`` / ``MEDEA_TRACE=1``
+paths.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from typing import Any, Iterable, Mapping
+
+from ..reporting import banner, render_table
+from .events import WALL_KEY, TraceEvent
+
+__all__ = [
+    "event_counts",
+    "render_event_counts",
+    "render_metrics",
+    "render_timers",
+    "read_jsonl",
+    "render_trace_report",
+]
+
+
+def read_jsonl(path: str) -> list[dict[str, Any]]:
+    """Load a JSONL trace file into raw event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def event_counts(events: Iterable[TraceEvent | Mapping[str, Any]]) -> dict[str, int]:
+    """Events per kind, sorted by kind."""
+    counts: _Counter[str] = _Counter()
+    for event in events:
+        kind = event.kind if isinstance(event, TraceEvent) else event.get("kind", "?")
+        counts[kind] += 1
+    return dict(sorted(counts.items()))
+
+
+def render_event_counts(events: Iterable[TraceEvent | Mapping[str, Any]]) -> str:
+    counts = event_counts(events)
+    rows = [[kind, count] for kind, count in counts.items()]
+    rows.append(["TOTAL", sum(counts.values())])
+    return render_table(["event kind", "count"], rows)
+
+
+def render_metrics(snapshot: Mapping[str, Any]) -> str:
+    """Counters and gauges of a :meth:`repro.obs.Metrics.snapshot` dump."""
+    rows = []
+    for family in ("counters", "gauges"):
+        for name, by_label in snapshot.get(family, {}).items():
+            for label_key, value in by_label.items():
+                rows.append([name, label_key or "-", value])
+    if not rows:
+        return "(no counters or gauges recorded)"
+    return render_table(["metric", "labels", "value"], rows)
+
+
+def render_timers(snapshot: Mapping[str, Any]) -> str:
+    """Timer aggregates of a metrics snapshot."""
+    rows = []
+    for name, by_label in snapshot.get("timers", {}).items():
+        for label_key, stat in by_label.items():
+            rows.append([
+                name,
+                label_key or "-",
+                stat["count"],
+                stat["total_s"] * 1000.0,
+                stat["mean_s"] * 1000.0,
+                stat["max_s"] * 1000.0,
+            ])
+    if not rows:
+        return "(no timers recorded)"
+    return render_table(
+        ["timer", "labels", "count", "total ms", "mean ms", "max ms"],
+        rows,
+    )
+
+
+def render_trace_report(path: str) -> str:
+    """Full report for a JSONL trace file: per-kind counts plus the span of
+    simulated time covered and how many events carry wall-clock data."""
+    events = read_jsonl(path)
+    parts = [banner(f"trace report: {path}")]
+    parts.append(render_event_counts(events))
+    times = [e["time"] for e in events if "time" in e]
+    if times:
+        parts.append(
+            f"\nsimulated time span: {min(times):.3f}s .. {max(times):.3f}s"
+        )
+    with_wall = sum(1 for e in events if WALL_KEY in e)
+    parts.append(
+        f"events: {len(events)} total, {with_wall} with wall-clock fields"
+    )
+    return "\n".join(parts)

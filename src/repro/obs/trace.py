@@ -1,0 +1,212 @@
+"""The tracer and its sinks.
+
+A :class:`Tracer` is the single entry point components emit through.  It is
+**zero-cost when disabled**: instrumented call sites guard with
+``if tracer.enabled:`` so neither the event payload dict nor the event
+object is ever built on the fast path, and the disabled default tracer is a
+shared module-level singleton.
+
+Sinks receive fully formed :class:`~repro.obs.events.TraceEvent` records:
+
+* :class:`MemorySink` — in-process list, used by tests and ad-hoc analysis.
+* :class:`JsonlSink` — one sorted-key JSON object per line; deterministic
+  fields in ``data``, volatile wall-clock fields under ``"wall"``.
+
+A process-wide default tracer supports ambient configuration
+(:func:`get_tracer` / :func:`set_tracer` / :func:`configure` /
+:func:`configure_from_env`); components may also be handed an explicit
+tracer for isolated runs (the determinism tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Any, Iterable, Mapping, TextIO
+
+from .events import TraceEvent
+
+__all__ = [
+    "TraceSink",
+    "MemorySink",
+    "JsonlSink",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "configure",
+    "configure_from_env",
+]
+
+#: Environment variables read by :func:`configure_from_env`.
+ENV_TRACE = "MEDEA_TRACE"
+ENV_TRACE_OUT = "MEDEA_TRACE_OUT"
+
+
+class TraceSink:
+    """Interface sinks implement (duck-typed; subclassing is optional)."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class MemorySink(TraceSink):
+    """Keep every event in a list."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def jsonl(self, *, canonical: bool = False) -> str:
+        """Serialise the captured stream as JSONL text."""
+        lines = [
+            e.canonical_json() if canonical else e.to_json() for e in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(TraceSink):
+    """Stream events to a JSONL file (or any text file object)."""
+
+    def __init__(self, target: str | os.PathLike | TextIO) -> None:
+        if isinstance(target, (str, os.PathLike)):
+            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._owned = True
+            self.path: str | None = os.fspath(target)
+        else:
+            self._file = target
+            self._owned = False
+            self.path = getattr(target, "name", None)
+        self._closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        if not self._closed:
+            self._file.write(event.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+        except (ValueError, io.UnsupportedOperation):  # already closed target
+            pass
+        if self._owned:
+            self._file.close()
+
+
+class Tracer:
+    """Emits typed events to zero or more sinks with a total order.
+
+    ``enabled`` is a plain attribute so the hot-path guard is a single
+    attribute read.  ``emit`` is still safe to call while disabled (it is a
+    no-op), but guarded call sites avoid even building the payload.
+    """
+
+    def __init__(
+        self, sinks: Iterable[TraceSink] = (), *, enabled: bool = True
+    ) -> None:
+        self.sinks: list[TraceSink] = list(sinks)
+        self.enabled = enabled
+        self._seq = 0
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        self.sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        self.sinks.remove(sink)
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        time: float | None = None,
+        data: Mapping[str, Any] | None = None,
+        wall: Mapping[str, Any] | None = None,
+    ) -> TraceEvent | None:
+        """Build and dispatch one event; returns it (``None`` if disabled)."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            kind=kind, seq=self._seq, time=time, data=data or {}, wall=wall
+        )
+        self._seq += 1
+        for sink in self.sinks:
+            sink.emit(event)
+        return event
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+#: Shared disabled tracer: the ambient default until configured.
+_NULL_TRACER = Tracer(enabled=False)
+_default_tracer: Tracer = _NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled unless configured)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the default (``None`` restores the disabled
+    null tracer); returns the previous default so callers can restore it."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+def configure(
+    *,
+    jsonl_path: str | os.PathLike | None = None,
+    memory: bool = False,
+    enabled: bool = True,
+) -> Tracer:
+    """Build a tracer with the requested sinks and install it as default."""
+    sinks: list[TraceSink] = []
+    if jsonl_path is not None:
+        sinks.append(JsonlSink(jsonl_path))
+    if memory:
+        sinks.append(MemorySink())
+    tracer = Tracer(sinks, enabled=enabled)
+    set_tracer(tracer)
+    return tracer
+
+
+def configure_from_env(environ: Mapping[str, str] | None = None) -> Tracer | None:
+    """Enable tracing when ``MEDEA_TRACE`` is set to a truthy value.
+
+    ``MEDEA_TRACE_OUT`` names the JSONL output file (default
+    ``medea_trace.jsonl`` in the working directory).  Returns the installed
+    tracer, or ``None`` when tracing is not requested.  Does nothing if an
+    enabled tracer is already installed (idempotent under repeated calls,
+    e.g. from both a CLI entry point and the benchmark harness).
+    """
+    env = os.environ if environ is None else environ
+    flag = env.get(ENV_TRACE, "").strip().lower()
+    if flag in ("", "0", "false", "no", "off"):
+        return None
+    if _default_tracer.enabled:
+        return _default_tracer
+    path = env.get(ENV_TRACE_OUT, "medea_trace.jsonl")
+    return configure(jsonl_path=path)

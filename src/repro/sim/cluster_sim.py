@@ -5,21 +5,29 @@ heartbeats drive the task-based scheduler, periodic scheduling cycles drive
 the LRA scheduler, task containers complete after their duration, and LRAs
 optionally tear down.  Machine unavailability traces can be replayed to take
 nodes down and up (used by the resilience experiments).
+
+A :class:`~repro.obs.Tracer` (explicit, or the ambient one) threads through
+every layer: the engine stamps ``engine.dispatch`` events, the facade the
+LRA lifecycle, and the simulation itself emits ``sim.heartbeat``,
+``task.finish`` and ``sim.node_availability`` transitions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable
 
 from ..cluster.state import ClusterState
 from ..cluster.topology import ClusterTopology
 from ..core.medea import MedeaScheduler
 from ..core.requests import LRARequest, TaskRequest
 from ..core.scheduler import LRAScheduler
+from ..obs.events import EventKind
+from ..obs.metrics import Metrics, get_metrics
+from ..obs.trace import Tracer, get_tracer
 from ..taskscheduler.base import TaskBasedScheduler
 from ..taskscheduler.capacity import CapacityScheduler
-from .engine import SimulationEngine
+from .engine import PeriodicHandle, SimulationEngine
 
 __all__ = ["ClusterSimulation", "SimConfig"]
 
@@ -45,10 +53,16 @@ class ClusterSimulation:
         task_scheduler: TaskBasedScheduler | None = None,
         config: SimConfig | None = None,
         ilp_all: bool = False,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.config = config or SimConfig()
         self.state = ClusterState(topology)
-        self.task_scheduler = task_scheduler or CapacityScheduler(self.state)
+        self._tracer = tracer
+        self._metrics = metrics
+        self.task_scheduler = task_scheduler or CapacityScheduler(
+            self.state, tracer=tracer, metrics=metrics
+        )
         if self.task_scheduler.state is not self.state:
             raise ValueError("task scheduler must be built on the simulation state")
         self.medea = MedeaScheduler(
@@ -57,30 +71,57 @@ class ClusterSimulation:
             self.task_scheduler,
             scheduling_interval_s=self.config.scheduling_interval_s,
             ilp_all=ilp_all,
+            tracer=tracer,
+            metrics=metrics,
         )
-        self.engine = SimulationEngine()
+        self.engine = SimulationEngine(tracer=tracer)
         self._task_durations: dict[str, float] = {}
         self._lra_durations: dict[str, float] = {}
         #: Observers called after every LRA scheduling cycle with (sim, result).
         self.cycle_observers: list[Callable] = []
+        #: Cancellable handles for the heartbeat and cycle series.
+        self.heartbeat_handle: PeriodicHandle | None = None
+        self.cycle_handle: PeriodicHandle | None = None
         self._install_periodic_activity()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics if self._metrics is not None else get_metrics()
 
     # -- periodic machinery ------------------------------------------------------
 
     def _install_periodic_activity(self) -> None:
-        self.engine.schedule_periodic(
+        self.heartbeat_handle = self.engine.schedule_periodic(
             self.config.heartbeat_interval_s,
             self._heartbeat_tick,
             until=self.config.horizon_s,
         )
-        self.engine.schedule_periodic(
+        self.cycle_handle = self.engine.schedule_periodic(
             self.config.scheduling_interval_s,
             self._cycle_tick,
             until=self.config.horizon_s,
         )
 
+    def stop_periodic_activity(self) -> None:
+        """Cancel the heartbeat and scheduling-cycle series (teardown)."""
+        if self.heartbeat_handle is not None:
+            self.heartbeat_handle.cancel()
+        if self.cycle_handle is not None:
+            self.cycle_handle.cancel()
+
     def _heartbeat_tick(self, engine: SimulationEngine) -> None:
         allocations = self.medea.heartbeat_all(engine.now)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SIM_HEARTBEAT,
+                time=engine.now,
+                data={"allocations": len(allocations)},
+            )
         for allocation in allocations:
             duration = self._task_durations.pop(allocation.task_id, None)
             if duration is not None:
@@ -90,7 +131,7 @@ class ClusterSimulation:
                 )
 
     def _cycle_tick(self, engine: SimulationEngine) -> None:
-        result = self.medea.run_cycle(engine.now)
+        result = self.medea.run_cycle(now=engine.now)
         for placement in result.placements:
             app_id = placement.app_id
             duration = self._lra_durations.get(app_id)
@@ -107,9 +148,16 @@ class ClusterSimulation:
         # The task may already be gone if the run was torn down.
         if task_id in self.state.containers:
             self.task_scheduler.release_task(task_id)
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.TASK_FINISH,
+                    time=self.engine.now,
+                    data={"task_id": task_id},
+                )
 
     def _finish_lra(self, app_id: str) -> None:
-        self.medea.complete_lra(app_id)
+        self.medea.complete_lra(app_id, now=self.engine.now)
 
     # -- submissions ------------------------------------------------------------------
 
@@ -119,20 +167,30 @@ class ClusterSimulation:
         if duration_s is not None:
             self._lra_durations[request.app_id] = duration_s
         self.engine.schedule_at(
-            at, lambda engine, r=request: self.medea.submit_lra(r, engine.now)
+            at, lambda engine, r=request: self.medea.submit_lra(r, now=engine.now)
         )
 
     def submit_task(self, task: TaskRequest, *, at: float = 0.0) -> None:
         self._task_durations[task.task_id] = task.duration_s
         self.engine.schedule_at(
-            at, lambda engine, t=task: self.medea.submit_task(t, engine.now)
+            at, lambda engine, t=task: self.medea.submit_task(t, now=engine.now)
         )
 
     def set_node_availability(self, node_id: str, up: bool, *, at: float) -> None:
         """Replay one unavailability transition from a failure trace."""
 
-        def flip(_engine: SimulationEngine) -> None:
+        def flip(engine: SimulationEngine) -> None:
             self.state.topology.node(node_id).available = up
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.NODE_AVAILABILITY,
+                    time=engine.now,
+                    data={"node_id": node_id, "up": up},
+                )
+            self.metrics.counter("sim_node_transitions_total").inc(
+                direction="up" if up else "down"
+            )
 
         self.engine.schedule_at(at, flip)
 

@@ -4,6 +4,12 @@ A minimal, deterministic event loop: events are (time, sequence) ordered,
 callbacks receive the engine so they can schedule follow-ups.  This is the
 substrate standing in for the paper's simulator, which "executes Medea with
 simulated machines, merely ignoring RPCs and task execution" (§7.1).
+
+Observability: when built with an enabled :class:`~repro.obs.Tracer` (or
+when the ambient default tracer is enabled), the engine emits one
+``engine.dispatch`` event per callback invocation, carrying the simulated
+time, the dispatch sequence number, and the callback's qualified name —
+the uniform, replayable event feed trace-driven analyses consume.
 """
 
 from __future__ import annotations
@@ -13,7 +19,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["SimulationEngine"]
+from ..obs.events import EventKind
+from ..obs.trace import Tracer, get_tracer
+
+__all__ = ["SimulationEngine", "PeriodicHandle"]
 
 Callback = Callable[["SimulationEngine"], None]
 
@@ -26,14 +35,50 @@ class _Event:
     cancelled: bool = field(default=False, compare=False)
 
 
+class PeriodicHandle:
+    """Cancellable handle for a :meth:`SimulationEngine.schedule_periodic`
+    series.
+
+    Unlike the one-shot ``schedule_at`` / ``schedule_in`` events, a periodic
+    callback reschedules itself, so cancelling any single underlying event
+    is not enough — this handle tracks the *current* pending event and stops
+    the series as a whole.  Accepted by :meth:`SimulationEngine.cancel`.
+    """
+
+    __slots__ = ("_event", "cancelled", "fired")
+
+    def __init__(self) -> None:
+        self._event: _Event | None = None
+        self.cancelled = False
+        #: Number of times the periodic callback has run.
+        self.fired = 0
+
+    def cancel(self) -> None:
+        """Stop the series: the pending tick (if any) will not fire and no
+        further ticks are scheduled."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and self._event is not None
+
+
 class SimulationEngine:
     """Deterministic single-threaded event loop with a simulated clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer: Tracer | None = None) -> None:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self.now: float = 0.0
         self._running = False
+        #: Explicit tracer; ``None`` falls back to the ambient default.
+        self._tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
 
     def schedule_at(self, time: float, callback: Callback) -> _Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
@@ -56,26 +101,58 @@ class SimulationEngine:
         *,
         start: float | None = None,
         until: float | None = None,
-    ) -> None:
-        """Invoke ``callback`` every ``interval`` seconds until ``until``."""
+    ) -> PeriodicHandle:
+        """Invoke ``callback`` every ``interval`` seconds until ``until``.
+
+        Returns a :class:`PeriodicHandle` so the series can be torn down
+        (e.g. stopping heartbeats when a simulation drains early) — like
+        ``schedule_at`` / ``schedule_in``, what was scheduled can be
+        cancelled, either via ``handle.cancel()`` or :meth:`cancel`.
+        """
         if interval <= 0:
             raise ValueError("interval must be positive")
         first = self.now + interval if start is None else start
+        handle = PeriodicHandle()
 
         def tick(engine: "SimulationEngine") -> None:
+            handle._event = None
+            if handle.cancelled:
+                return
+            handle.fired += 1
             callback(engine)
             next_time = engine.now + interval
-            if until is None or next_time <= until:
-                engine.schedule_at(next_time, tick)
+            if not handle.cancelled and (until is None or next_time <= until):
+                handle._event = engine.schedule_at(next_time, tick)
 
         if until is None or first <= until:
-            self.schedule_at(first, tick)
+            handle._event = self.schedule_at(first, tick)
+        return handle
 
-    def cancel(self, event: _Event) -> None:
-        event.cancelled = True
+    def cancel(self, event: _Event | PeriodicHandle) -> None:
+        """Cancel a pending one-shot event or a whole periodic series."""
+        if isinstance(event, PeriodicHandle):
+            event.cancel()
+        else:
+            event.cancelled = True
 
     def pending(self) -> int:
         return sum(1 for e in self._queue if not e.cancelled)
+
+    def _dispatch(self, event: _Event) -> None:
+        self.now = event.time
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.ENGINE_DISPATCH,
+                time=event.time,
+                data={
+                    "event_seq": event.seq,
+                    "callback": getattr(
+                        event.callback, "__qualname__", type(event.callback).__name__
+                    ),
+                },
+            )
+        event.callback(self)
 
     def run(self, until: float | None = None) -> float:
         """Drain events (optionally up to simulated time ``until``); returns
@@ -89,8 +166,7 @@ class SimulationEngine:
                 heapq.heappop(self._queue)
                 if event.cancelled:
                     continue
-                self.now = event.time
-                event.callback(self)
+                self._dispatch(event)
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -103,7 +179,6 @@ class SimulationEngine:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self.now = event.time
-            event.callback(self)
+            self._dispatch(event)
             return True
         return False

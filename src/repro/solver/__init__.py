@@ -12,9 +12,11 @@ Public entry point::
 
 from __future__ import annotations
 
+import warnings
+
 from .branch_and_bound import BnBOptions, solve_branch_and_bound
 from .highs import HighsOptions, solve_highs
-from .model import INF, MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
+from .model import INF, MilpModel, MilpSolution, Sense, SolveStatus
 from .presolve import PresolveResult, StandardForm, presolve, standard_form
 
 __all__ = [
@@ -34,6 +36,22 @@ __all__ = [
     "solve_branch_and_bound",
     "solve_highs",
 ]
+
+def __getattr__(name: str):
+    # Deprecation alias: SolverStats moved to the unified observability
+    # layer.  Kept importable from here so the PR-1 plumbing keeps working.
+    if name == "SolverStats":
+        warnings.warn(
+            "repro.solver.SolverStats has moved to repro.obs.SolverStats; "
+            "update imports (the alias will be removed in a future release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..obs.metrics import SolverStats
+
+        return SolverStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 _BACKENDS = {
     "highs": lambda model, options: solve_highs(model, options),

@@ -50,6 +50,8 @@ try:  # SciPy ships the HiGHS bindings `milp` uses; the incremental
 except Exception:  # pragma: no cover - depends on scipy build
     _hcore = None
 
+from ..obs.events import EventKind
+from ..obs.trace import get_tracer
 from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 from .presolve import PresolveResult, StandardForm, presolve, standard_form
 
@@ -357,6 +359,25 @@ def _solution(
     start: float,
 ) -> MilpSolution:
     stats.time_total_s = time.perf_counter() - start
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            EventKind.SOLVER_SOLVE,
+            data={
+                "backend": stats.backend,
+                "status": status.value,
+                "nodes_explored": stats.nodes_explored,
+                "lp_solves": stats.lp_solves,
+                "lp_solves_avoided": stats.lp_solves_avoided,
+                "heuristic_incumbents": stats.heuristic_incumbents,
+            },
+            wall={
+                "time_total_s": stats.time_total_s,
+                "time_presolve_s": stats.time_presolve_s,
+                "time_lp_s": stats.time_lp_s,
+                "time_heuristic_s": stats.time_heuristic_s,
+            },
+        )
     return MilpSolution(status, objective, values, stats.nodes_explored, stats)
 
 
@@ -378,6 +399,19 @@ def solve_branch_and_bound(
         stats.presolve_rows_removed = reduction.rows_removed
         stats.presolve_cols_fixed = reduction.cols_fixed
         stats.presolve_bounds_tightened = reduction.bounds_tightened
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SOLVER_PRESOLVE,
+                data={
+                    "rows_removed": reduction.rows_removed,
+                    "cols_fixed": reduction.cols_fixed,
+                    "bounds_tightened": reduction.bounds_tightened,
+                    "cols_before": n_original,
+                    "infeasible": reduction.status is SolveStatus.INFEASIBLE,
+                },
+                wall={"time_presolve_s": stats.time_presolve_s},
+            )
         if reduction.status is SolveStatus.INFEASIBLE:
             return _solution(SolveStatus.INFEASIBLE, math.nan, (), stats, start)
         form = reduction.form

@@ -13,9 +13,25 @@ import time
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from ..obs.events import EventKind
+from ..obs.trace import get_tracer
 from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 
 __all__ = ["solve_highs", "HighsOptions"]
+
+
+def _trace_solve(status: SolveStatus, stats: SolverStats) -> None:
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            EventKind.SOLVER_SOLVE,
+            data={
+                "backend": stats.backend,
+                "status": status.value,
+                "nodes_explored": stats.nodes_explored,
+            },
+            wall={"time_total_s": stats.time_total_s},
+        )
 
 
 class HighsOptions:
@@ -78,6 +94,7 @@ def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSo
                 status = SolveStatus.UNBOUNDED
             elif feas.status == 2:
                 status = SolveStatus.INFEASIBLE
+        _trace_solve(status, stats)
         return MilpSolution(status, math.nan, (), stats.nodes_explored, stats)
     status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     if status is SolveStatus.ERROR and result.x is not None:
@@ -88,4 +105,5 @@ def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSo
     for index in model.integer_indices():
         values[index] = round(values[index])
     objective = sign * float(result.fun)
+    _trace_solve(status, stats)
     return MilpSolution(status, objective, tuple(values.tolist()), stats.nodes_explored, stats)

@@ -18,6 +18,11 @@ from typing import Mapping, Sequence
 import numpy as np
 from scipy import sparse
 
+# SolverStats moved to the unified observability layer (repro.obs.metrics);
+# re-exported here so ``from repro.solver.model import SolverStats`` keeps
+# working for both backends and existing callers.
+from ..obs.metrics import SolverStats
+
 __all__ = ["Sense", "SolveStatus", "MilpModel", "MilpSolution", "SolverStats", "INF"]
 
 INF = float("inf")
@@ -37,70 +42,6 @@ class SolveStatus(enum.Enum):
 
     def has_solution(self) -> bool:
         return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
-
-
-@dataclass
-class SolverStats:
-    """Where a MILP solve spent its effort.
-
-    Produced by both backends (the branch-and-bound solver fills every
-    field; HiGHS reports what ``scipy.optimize.milp`` exposes, which is
-    wall time only) and threaded through ``IlpScheduler`` and
-    ``PlacementResult`` so Fig. 11a-style latency runs can report where
-    placement time goes.
-    """
-
-    backend: str = "bnb"
-    nodes_explored: int = 0
-    lp_solves: int = 0
-    #: Nodes pruned by bound propagation before any LP was solved.
-    lp_solves_avoided: int = 0
-    presolve_rows_removed: int = 0
-    presolve_cols_fixed: int = 0
-    presolve_bounds_tightened: int = 0
-    #: Incumbents found by the rounding primal heuristic.
-    heuristic_incumbents: int = 0
-    time_presolve_s: float = 0.0
-    time_lp_s: float = 0.0
-    time_heuristic_s: float = 0.0
-    time_total_s: float = 0.0
-    #: Number of solves merged into this record (1 for a single solve).
-    solves: int = 1
-
-    def merge(self, other: "SolverStats") -> None:
-        """Accumulate ``other`` into this record (for per-experiment totals)."""
-        if self.solves == 0:
-            self.backend = other.backend
-        elif other.backend not in self.backend.split("+"):
-            self.backend = f"{self.backend}+{other.backend}"
-        self.nodes_explored += other.nodes_explored
-        self.lp_solves += other.lp_solves
-        self.lp_solves_avoided += other.lp_solves_avoided
-        self.presolve_rows_removed += other.presolve_rows_removed
-        self.presolve_cols_fixed += other.presolve_cols_fixed
-        self.presolve_bounds_tightened += other.presolve_bounds_tightened
-        self.heuristic_incumbents += other.heuristic_incumbents
-        self.time_presolve_s += other.time_presolve_s
-        self.time_lp_s += other.time_lp_s
-        self.time_heuristic_s += other.time_heuristic_s
-        self.time_total_s += other.time_total_s
-        self.solves += other.solves
-
-    def summary(self) -> str:
-        """One line suitable for benchmark output."""
-        return (
-            f"solver[{self.backend}] solves={self.solves} "
-            f"nodes={self.nodes_explored} lps={self.lp_solves} "
-            f"(avoided={self.lp_solves_avoided}) "
-            f"presolve(rows-={self.presolve_rows_removed} "
-            f"cols-={self.presolve_cols_fixed} "
-            f"tighten={self.presolve_bounds_tightened}) "
-            f"heur-inc={self.heuristic_incumbents} "
-            f"t_presolve={self.time_presolve_s * 1000:.1f}ms "
-            f"t_lp={self.time_lp_s * 1000:.1f}ms "
-            f"t_heur={self.time_heuristic_s * 1000:.1f}ms "
-            f"t_total={self.time_total_s * 1000:.1f}ms"
-        )
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,9 @@ from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
 from ..core.requests import TaskRequest
 from ..core.scheduler import ContainerPlacement
+from ..obs.events import EventKind
+from ..obs.metrics import Metrics, get_metrics
+from ..obs.trace import Tracer, get_tracer
 from .queues import QueueConfig, QueueSystem
 
 __all__ = ["TaskAllocation", "PlacementConflictError", "TaskBasedScheduler"]
@@ -58,6 +61,9 @@ class TaskBasedScheduler(abc.ABC):
         self,
         state: ClusterState,
         queue_configs: Iterable[QueueConfig] = (),
+        *,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ) -> None:
         self.state = state
         cluster_mem = state.topology.total_capacity().memory_mb
@@ -67,6 +73,17 @@ class TaskBasedScheduler(abc.ABC):
         #: task_id -> queue name, kept until release for capacity refunds.
         self._task_queue: dict[str, str] = {}
         self.completed_allocations: list[TaskAllocation] = []
+        #: Explicit tracer/metrics; ``None`` falls back to the ambient ones.
+        self._tracer = tracer
+        self._metrics = metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics if self._metrics is not None else get_metrics()
 
     # -- task path -------------------------------------------------------------
 
@@ -74,6 +91,14 @@ class TaskBasedScheduler(abc.ABC):
         self.queues.enqueue(task)
         self._submit_times[task.task_id] = now
         self._task_queue[task.task_id] = task.queue
+        self.metrics.counter("task_submitted_total").inc(queue=task.queue)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.TASK_SUBMIT,
+                time=now,
+                data={"task_id": task.task_id, "queue": task.queue},
+            )
 
     def pending_tasks(self) -> int:
         return self.queues.pending_count()
@@ -110,6 +135,23 @@ class TaskBasedScheduler(abc.ABC):
             )
             allocations.append(allocation)
             self.completed_allocations.append(allocation)
+            self.metrics.counter("task_allocated_total").inc(queue=task.queue)
+            self.metrics.timer("task_queue_latency_seconds").observe(
+                allocation.latency_s, queue=task.queue
+            )
+        tracer = self.tracer
+        if tracer.enabled:
+            for allocation in allocations:
+                tracer.emit(
+                    EventKind.TASK_ALLOCATE,
+                    time=now,
+                    data={
+                        "task_id": allocation.task_id,
+                        "node_id": allocation.node_id,
+                        "queue": self._task_queue.get(allocation.task_id, ""),
+                        "latency_s": allocation.latency_s,
+                    },
+                )
         return allocations
 
     def release_task(self, task_id: str) -> None:
@@ -117,6 +159,14 @@ class TaskBasedScheduler(abc.ABC):
         queue_name = self._task_queue.pop(task_id, None)
         if queue_name is not None:
             self.queues.queue(queue_name).refund(placed.allocation.resource)
+        self.metrics.counter("task_released_total").inc()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.TASK_RELEASE,
+                time=None,
+                data={"task_id": task_id, "node_id": placed.node_id},
+            )
 
     @abc.abstractmethod
     def _select_task(self, node_id: str) -> TaskRequest | None:
@@ -161,5 +211,6 @@ class TaskBasedScheduler(abc.ABC):
         except PlacementConflictError:
             for placement in applied:
                 self.state.release(placement.container_id)
+            self.metrics.counter("task_lra_apply_conflicts_total").inc()
             raise
         return applied

@@ -1,0 +1,451 @@
+"""Tests for the ``repro.obs`` observability subsystem.
+
+Covers the tentpole guarantees of the obs redesign: deterministic trace
+streams (same seed ⇒ byte-identical canonical JSONL), metrics snapshot
+correctness, decision-audit contents for affinity / anti-affinity pruning,
+the disabled-tracer no-op, and the ``SolverStats`` migration aliases.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    Resource,
+    SerialScheduler,
+    TaskRequest,
+    build_cluster,
+)
+from repro.core.constraints import affinity, anti_affinity
+from repro.obs import (
+    EventKind,
+    JsonlSink,
+    MemorySink,
+    Metrics,
+    SolverStats,
+    TraceEvent,
+    Tracer,
+    canonical,
+)
+from repro.obs.trace import (
+    configure_from_env,
+    get_tracer,
+    set_tracer,
+)
+from repro.obs.metrics import get_metrics, set_metrics
+from repro.sim import ClusterSimulation, SimConfig
+from tests.helpers import make_lra
+
+
+@pytest.fixture()
+def isolate_obs():
+    """Save and restore the ambient tracer/metrics around a test."""
+    prev_tracer = set_tracer(None)
+    prev_metrics = set_metrics(Metrics())
+    yield
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+def _make_sim(tracer=None, metrics=None):
+    topo = build_cluster(6, racks=2, memory_mb=8 * 1024, vcores=8)
+    config = SimConfig(scheduling_interval_s=5.0, horizon_s=60.0)
+    return ClusterSimulation(
+        topo, SerialScheduler(), config=config, tracer=tracer, metrics=metrics
+    )
+
+
+def _drive(sim):
+    sim.submit_lra(
+        make_lra(
+            "web", containers=2, tags={"web"},
+            constraints=(anti_affinity("web", "web", "node"),),
+        ),
+        at=1.0,
+    )
+    sim.submit_lra(make_lra("db", containers=1, tags={"db"}), at=2.0,
+                   duration_s=20.0)
+    for i in range(5):
+        sim.submit_task(
+            TaskRequest(f"t{i}", "batch", Resource(512, 1), duration_s=4.0),
+            at=0.5 + i,
+        )
+    sim.run(40.0)
+
+
+class TestTraceEvent:
+    def test_to_json_is_sorted_and_compact(self):
+        event = TraceEvent(kind="lra.submit", seq=3, time=1.5,
+                           data={"b": 1, "a": 2})
+        text = event.to_json()
+        assert text.index('"a"') < text.index('"b"')
+        assert ", " not in text
+
+    def test_canonical_json_strips_wall(self):
+        event = TraceEvent(kind="solver.solve", seq=0, time=None,
+                           data={"nodes": 4}, wall={"time_total_s": 0.123})
+        assert "wall" in event.to_json()
+        assert "wall" not in event.canonical_json()
+        assert json.loads(event.canonical_json())["data"] == {"nodes": 4}
+
+    def test_canonical_module_fn_strips_wall_from_jsonl(self):
+        tracer = Tracer([sink := MemorySink()])
+        tracer.emit("x", time=1.0, data={"k": 1}, wall={"elapsed": 9.9})
+        tracer.emit("y", time=2.0, data={"k": 2})
+        raw = sink.jsonl()
+        assert "elapsed" in raw
+        stripped = canonical(raw)
+        assert "elapsed" not in stripped and "wall" not in stripped
+        assert stripped == sink.jsonl(canonical=True)
+
+
+class TestTracer:
+    def test_disabled_tracer_is_noop(self):
+        sink = MemorySink()
+        tracer = Tracer([sink], enabled=False)
+        assert tracer.emit("x", data={"heavy": 1}) is None
+        assert len(sink) == 0
+
+    def test_ambient_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_seq_gives_total_order(self):
+        tracer = Tracer([sink := MemorySink()])
+        for _ in range(5):
+            tracer.emit("x")
+        assert [e.seq for e in sink.events] == [0, 1, 2, 3, 4]
+
+    def test_jsonl_sink_writes_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        tracer.emit("a", time=0.0, data={"n": 1})
+        tracer.emit("b", time=1.0)
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "a"
+
+    def test_configure_from_env_noop_when_unset(self, isolate_obs):
+        assert configure_from_env({"MEDEA_TRACE": ""}) is None
+        assert configure_from_env({"MEDEA_TRACE": "0"}) is None
+        assert get_tracer().enabled is False
+
+
+class TestDisabledTracingSim:
+    def test_sim_with_disabled_tracer_emits_nothing(self, isolate_obs):
+        sink = MemorySink()
+        tracer = Tracer([sink], enabled=False)
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        assert len(sink) == 0
+
+
+class TestTraceDeterminism:
+    def test_same_seed_runs_are_byte_identical(self, isolate_obs):
+        streams = []
+        for _ in range(2):
+            sink = MemorySink()
+            sim = _make_sim(tracer=Tracer([sink]), metrics=Metrics())
+            _drive(sim)
+            assert len(sink) > 0
+            streams.append(sink.jsonl(canonical=True))
+        assert streams[0] == streams[1]
+
+    def test_env_configured_runs_are_byte_identical(self, isolate_obs, tmp_path):
+        texts = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.jsonl"
+            set_tracer(None)
+            tracer = configure_from_env(
+                {"MEDEA_TRACE": "1", "MEDEA_TRACE_OUT": str(path)}
+            )
+            assert tracer is not None and tracer.enabled
+            metrics = set_metrics(Metrics())
+            try:
+                _drive(_make_sim())
+            finally:
+                get_tracer().close()
+                set_metrics(metrics)
+            texts.append(canonical(path.read_text()))
+        assert texts[0] and texts[0] == texts[1]
+
+    def test_lifecycle_kinds_present(self, isolate_obs):
+        sink = MemorySink()
+        sim = _make_sim(tracer=Tracer([sink]), metrics=Metrics())
+        _drive(sim)
+        kinds = set(sink.kinds())
+        for expected in (
+            EventKind.ENGINE_DISPATCH,
+            EventKind.SIM_HEARTBEAT,
+            EventKind.CYCLE_START,
+            EventKind.CYCLE_END,
+            EventKind.LRA_SUBMIT,
+            EventKind.LRA_PLACE,
+            EventKind.LRA_COMPLETE,
+            EventKind.SCHEDULER_PLACE,
+            EventKind.TASK_SUBMIT,
+            EventKind.TASK_ALLOCATE,
+            EventKind.TASK_RELEASE,
+        ):
+            assert expected in kinds, f"missing {expected}"
+
+    def test_wall_fields_segregated(self, isolate_obs):
+        sink = MemorySink()
+        sim = _make_sim(tracer=Tracer([sink]), metrics=Metrics())
+        _drive(sim)
+        for event in sink.of_kind(EventKind.CYCLE_END):
+            assert "solve_time_s" in (event.wall or {})
+            assert "solve_time_s" not in event.data
+
+
+class TestMetrics:
+    def test_counter_labels_and_totals(self):
+        metrics = Metrics()
+        metrics.counter("c").inc(2, q="a")
+        metrics.counter("c").inc(q="a")
+        metrics.counter("c").inc(5, q="b")
+        counter = metrics.counter("c")
+        assert counter.value(q="a") == 3
+        assert counter.total() == 8
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Metrics().gauge("g")
+        gauge.set(4.0)
+        gauge.add(1.5)
+        assert gauge.value() == 5.5
+
+    def test_timer_observe_and_context(self):
+        metrics = Metrics()
+        timer = metrics.timer("t")
+        timer.observe(0.5, phase="x")
+        timer.observe(1.5, phase="x")
+        stat = timer.stat(phase="x")
+        assert stat.count == 2
+        assert stat.mean_s == pytest.approx(1.0)
+        assert stat.min_s == 0.5 and stat.max_s == 1.5
+        with timer.time(phase="y"):
+            pass
+        assert timer.stat(phase="y").count == 1
+
+    def test_snapshot_shape(self):
+        metrics = Metrics()
+        metrics.counter("n").inc(3, scheduler="Serial")
+        metrics.gauge("g").set(7)
+        metrics.timer("t").observe(0.25)
+        snap = metrics.snapshot()
+        assert snap["counters"]["n"] == {"scheduler=Serial": 3}
+        assert snap["gauges"]["g"] == {"": 7.0}
+        assert snap["timers"]["t"][""]["count"] == 1
+        # Snapshot is JSON-serialisable as-is (the CI artifact format).
+        json.dumps(snap)
+
+    def test_sim_records_lifecycle_counters(self, isolate_obs):
+        metrics = Metrics()
+        sim = _make_sim(metrics=metrics)
+        _drive(sim)
+        snap = metrics.snapshot()
+        assert snap["counters"]["lra_submitted_total"][""] == 2
+        assert snap["counters"]["lra_placed_total"][""] == 2
+        assert snap["counters"]["task_allocated_total"]["queue=default"] == 5
+        place_stats = snap["timers"]["scheduler_place_seconds"]
+        assert place_stats["scheduler=Serial"]["count"] >= 1
+
+
+class TestSolverStatsMigration:
+    def test_deprecated_alias_warns_and_is_same_class(self):
+        with pytest.warns(DeprecationWarning, match="moved to repro.obs"):
+            from repro.solver import SolverStats as LegacyStats
+        assert LegacyStats is SolverStats
+
+    def test_model_reexport_still_works(self):
+        from repro.solver.model import SolverStats as ModelStats
+
+        assert ModelStats is SolverStats
+
+    def test_record_to_folds_into_metrics(self):
+        stats = SolverStats(
+            backend="bnb", nodes_explored=7, lp_solves=3,
+            time_lp_s=0.2, time_total_s=0.5,
+        )
+        metrics = Metrics()
+        stats.record_to(metrics, scheduler="MEDEA-ILP")
+        labels = {"backend": "bnb", "scheduler": "MEDEA-ILP"}
+        assert metrics.counter("solver_nodes_explored_total").value(**labels) == 7
+        assert metrics.counter("solver_lp_solves_total").value(**labels) == 3
+        timer = metrics.timer("solver_phase_seconds")
+        assert timer.stat(phase="lp", **labels).total_s == pytest.approx(0.2)
+        assert timer.stat(phase="total", **labels).total_s == pytest.approx(0.5)
+
+
+class TestDecisionAudit:
+    def _place(self, scheduler, lra, nodes=4):
+        from repro import ClusterState, ConstraintManager
+
+        topo = build_cluster(nodes, racks=2, memory_mb=8 * 1024, vcores=8)
+        state = ClusterState(topo)
+        manager = ConstraintManager(topo)
+        manager.register_application(lra)
+        return scheduler.place([lra], state, manager)
+
+    def test_affinity_pruning_recorded(self):
+        # Affinity toward a tag hosted nowhere: every candidate violates.
+        lra = make_lra(
+            "aff", containers=1, tags={"s"},
+            constraints=(affinity("s", "hb", "node"),),
+        )
+        result = self._place(SerialScheduler(audit=True), lra)
+        audit = result.audit
+        assert audit is not None and audit.scheduler == "Serial"
+        decision = audit.decision_for("aff/c0")
+        assert decision.considered == 4
+        assert decision.feasible == 0
+        pruned = decision.pruned_by("constraint")
+        assert len(pruned) == 4
+        assert all("hb" in p.constraint for p in pruned)
+        assert all(p.extent > 0 for p in pruned)
+        # Soft constraints: still placed, on a least-bad node.
+        assert decision.chosen_node is not None
+        assert decision.score_terms["violation_delta"] > 0
+
+    def test_anti_affinity_pruning_recorded(self):
+        lra = make_lra(
+            "anti", containers=2, tags={"a"},
+            constraints=(anti_affinity("a", "a", "node"),),
+        )
+        result = self._place(SerialScheduler(audit=True), lra)
+        audit = result.audit
+        first, second = audit.decisions_of("anti")
+        assert first.chosen_node is not None
+        # The second container must avoid the first one's node...
+        conflicted = second.pruned_by("constraint")
+        assert [p.node_id for p in conflicted] == [first.chosen_node]
+        assert second.chosen_node != first.chosen_node
+        # ...and the responsible constraint is named in canonical notation.
+        assert second.pruning_constraints() == [p.constraint for p in conflicted][:1]
+
+    def test_audit_off_by_default(self):
+        lra = make_lra("plain", containers=1)
+        result = self._place(SerialScheduler(), lra)
+        assert result.audit is None
+
+    def test_capacity_pruning_recorded(self):
+        lra = make_lra("big", containers=1, memory_mb=7 * 1024)
+        scheduler = SerialScheduler(audit=True)
+        from repro import ClusterState, ConstraintManager
+
+        topo = build_cluster(2, racks=1, memory_mb=8 * 1024, vcores=8)
+        state = ClusterState(topo)
+        manager = ConstraintManager(topo)
+        # Pre-load node 0 so it cannot fit the big container.
+        state.allocate("filler", "n00000", Resource(4 * 1024, 1),
+                       frozenset({"f"}), "fill")
+        result = scheduler.place([lra], state, manager)
+        decision = result.audit.decision_for("big/c0")
+        assert [p.node_id for p in decision.pruned_by("capacity")] == ["n00000"]
+        assert decision.chosen_node == "n00001"
+
+
+class TestClockShims:
+    def test_positional_now_warns_but_works(self):
+        from repro import CapacityScheduler, ClusterState, MedeaScheduler
+
+        topo = build_cluster(2)
+        state = ClusterState(topo)
+        medea = MedeaScheduler(
+            state, SerialScheduler(), CapacityScheduler(state),
+            metrics=Metrics(),
+        )
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            medea.submit_lra(make_lra("x", containers=1), 3.0)
+        assert medea.outcomes["x"].submit_time == 3.0
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            medea.run_cycle(4.0)
+        assert medea.outcomes["x"].placed_time == 4.0
+
+    def test_too_many_positionals_rejected(self):
+        from repro import CapacityScheduler, ClusterState, MedeaScheduler
+
+        topo = build_cluster(2)
+        state = ClusterState(topo)
+        medea = MedeaScheduler(
+            state, SerialScheduler(), CapacityScheduler(state),
+            metrics=Metrics(),
+        )
+        with pytest.raises(TypeError):
+            medea.run_cycle(1.0, 2.0)
+
+    def test_legacy_place_override_shimmed(self):
+        from repro import ClusterState, ConstraintManager
+        from repro.core.scheduler import LRAScheduler, PlacementResult
+
+        class LegacyScheduler(LRAScheduler):
+            name = "legacy"
+
+            def place(self, requests, state, manager):  # old 3-arg form
+                return PlacementResult()
+
+        topo = build_cluster(2)
+        state = ClusterState(topo)
+        scheduler = LegacyScheduler()
+        with pytest.warns(DeprecationWarning, match="keyword-only 'now'"):
+            result = scheduler.timed_place(
+                [make_lra("l", containers=1)], state,
+                ConstraintManager(topo), now=5.0, metrics=Metrics(),
+            )
+        assert isinstance(result, PlacementResult)
+
+    def test_keyword_now_no_warning(self):
+        from repro import ClusterState, ConstraintManager
+
+        topo = build_cluster(2)
+        state = ClusterState(topo)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SerialScheduler().timed_place(
+                [make_lra("k", containers=1)], state,
+                ConstraintManager(topo), now=1.0, metrics=Metrics(),
+            )
+
+
+class TestPublicApi:
+    def test_top_level_reexports(self):
+        import repro
+
+        for name in ("Tracer", "Metrics", "TraceEvent", "MemorySink",
+                     "JsonlSink", "SolverStats", "DecisionAudit"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_report_renders_trace(self, tmp_path, isolate_obs):
+        from repro.obs.report import render_trace_report
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        tracer.close()
+        text = render_trace_report(str(path))
+        assert "lra.place" in text
+        assert "TOTAL" in text
+
+    def test_cli_trace_report(self, tmp_path, capsys, isolate_obs):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(path)])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        tracer.close()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.dispatch" in out
+
+    def test_cli_trace_report_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 1

@@ -82,6 +82,40 @@ class TestEngine:
         assert engine.step() is True
         assert engine.step() is False
 
+    def test_periodic_returns_cancellable_handle(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_periodic(2.0, lambda e: ticks.append(e.now))
+        assert handle.active
+        engine.run(5.0)
+        assert ticks == [2.0, 4.0]
+        assert handle.fired == 2
+        handle.cancel()
+        assert not handle.active
+        engine.run(20.0)
+        assert ticks == [2.0, 4.0]
+
+    def test_periodic_cancel_mid_run_stops_series(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick(e):
+            ticks.append(e.now)
+            if len(ticks) == 3:
+                handle.cancel()
+
+        handle = engine.schedule_periodic(1.0, tick)
+        engine.run(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_engine_cancel_accepts_periodic_handle(self):
+        engine = SimulationEngine()
+        ticks = []
+        handle = engine.schedule_periodic(1.0, lambda e: ticks.append(e.now))
+        engine.cancel(handle)
+        engine.run(5.0)
+        assert ticks == [] and handle.cancelled
+
     @settings(max_examples=20, deadline=None)
     @given(times=st.lists(st.floats(min_value=0, max_value=1e6), max_size=25))
     def test_arbitrary_schedules_fire_sorted(self, times):
@@ -149,3 +183,15 @@ class TestClusterSimulation:
         foreign = CapacityScheduler(ClusterState(build_cluster(2)))
         with pytest.raises(ValueError):
             ClusterSimulation(topo, SerialScheduler(), task_scheduler=foreign)
+
+    def test_stop_periodic_activity(self):
+        sim = self.make_sim()
+        sim.submit_lra(make_lra("a", containers=2), at=1.0)
+        sim.run(6.0)
+        assert sim.heartbeat_handle is not None and sim.heartbeat_handle.active
+        sim.stop_periodic_activity()
+        sim.submit_lra(make_lra("b", containers=2), at=7.0)
+        sim.run(50.0)
+        # No further cycles run, so "b" never gets placed.
+        assert len(sim.state.containers_of_app("b")) == 0
+        assert not sim.cycle_handle.active
