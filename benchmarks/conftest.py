@@ -5,6 +5,12 @@ structured event trace to ``MEDEA_TRACE_OUT`` (default
 ``medea_trace.jsonl``); at session end the trace file is flushed and the
 ambient metrics registry is dumped next to it as
 ``<trace stem>.metrics.json`` — the pair CI uploads as build artifacts.
+
+Independently of tracing, every :func:`benchmarks.harness
+.run_placement_experiment` call collects per-batch series (utilisation,
+queue depth, queuing delay, solver latency) into
+``harness.BENCH_TIMELINES``; when any ran, the session dumps them as
+``BENCH_timeline.json`` (``BENCH_TIMELINE_OUT`` overrides the path).
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ from repro.obs.trace import ENV_TRACE, ENV_TRACE_OUT, configure_from_env, get_tr
 def _medea_trace_session():
     configure_from_env()
     yield
+    from .harness import BENCH_TIMELINES, write_bench_timeline
+
+    if BENCH_TIMELINES:
+        write_bench_timeline()
     tracer = get_tracer()
     if not tracer.enabled:
         return

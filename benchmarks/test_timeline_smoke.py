@@ -1,0 +1,54 @@
+"""Timeline telemetry smoke — every experiment feeds ``BENCH_timeline.json``.
+
+Runs one cheap heuristic and one small ILP placement experiment and asserts
+that :data:`benchmarks.harness.BENCH_TIMELINES` captured non-empty
+utilisation / queuing-delay / solver-latency series for each — the signals
+``benchmarks/conftest.py`` dumps at session end and CI uploads.
+"""
+
+from __future__ import annotations
+
+from repro import IlpScheduler, SerialScheduler
+from repro.workloads import hbase_population
+
+from .harness import BENCH_TIMELINES, run_placement_experiment, scaled
+
+REQUIRED_SERIES = ("utilization", "queue_depth", "queue_delay_s", "solver_latency_s")
+
+
+def _run(scheduler, label: str):
+    population = hbase_population(scaled(8), max_rs_per_node=3)
+    return run_placement_experiment(
+        scheduler,
+        population,
+        num_nodes=scaled(40),
+        racks=4,
+        experiment=label,
+    )
+
+
+def test_timeline_smoke_serial():
+    result = _run(SerialScheduler(), "timeline-smoke-serial")
+    assert result.placed_apps > 0
+    entry = BENCH_TIMELINES["timeline-smoke-serial"]
+    for name in REQUIRED_SERIES:
+        series = entry["series"][name]
+        assert series["t"], f"{name} has no ticks"
+        assert len(series["t"]) == len(series["v"])
+    assert max(entry["series"]["utilization"]["v"]) > 0.0
+    # Queue drains monotonically as batches are placed.
+    depths = entry["series"]["queue_depth"]["v"]
+    assert depths == sorted(depths, reverse=True)
+    assert depths[-1] == 0.0
+
+
+def test_timeline_smoke_ilp():
+    scheduler = IlpScheduler(
+        max_candidate_nodes=16, time_limit_s=2.0, mip_rel_gap=0.05
+    )
+    result = _run(scheduler, "timeline-smoke-ilp")
+    assert result.placed_apps > 0
+    entry = BENCH_TIMELINES["timeline-smoke-ilp"]
+    latency = entry["series"]["solver_latency_s"]["v"]
+    assert latency and all(v >= 0.0 for v in latency)
+    assert entry["scheduler"] == scheduler.name

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five commands, each a thin wrapper over the library:
+Six commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -11,6 +11,9 @@ Five commands, each a thin wrapper over the library:
   simulation and report placement quality and task latency.
 * ``trace-report`` — summarise a JSONL trace produced by ``MEDEA_TRACE=1``
   or ``--trace-out``.
+* ``dashboard`` — aggregate a JSONL trace into per-tick time series, replay
+  it against its recorded state hashes, judge SLO rules, and render a
+  terminal report (optionally ``--html`` / ``--json`` artifacts).
 
 Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``)
 or pass ``--trace-out FILE`` to ``compare``/``simulate`` to record the
@@ -63,6 +66,36 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-report", help="summarise a MEDEA_TRACE JSONL trace file"
     )
     p_trace.add_argument("trace_file", help="path to the .jsonl trace")
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="timeline + SLO + replay dashboard for a JSONL trace file",
+    )
+    p_dash.add_argument("trace_file", help="path to the .jsonl trace")
+    p_dash.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the dashboard summary JSON to this file",
+    )
+    p_dash.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write a self-contained HTML report to this file",
+    )
+    p_dash.add_argument(
+        "--slo", metavar="FILE", default=None,
+        help="JSON file with SLO rules (default: built-in smoke thresholds)",
+    )
+    p_dash.add_argument(
+        "--tick", type=float, default=None,
+        help="timeline bucket width in simulated seconds (default 1.0)",
+    )
+    p_dash.add_argument(
+        "--max-points", type=int, default=None,
+        help="max points per series before downsampling (default 512)",
+    )
+    p_dash.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit non-zero when any SLO rule fails or the replay diverges",
+    )
     return parser
 
 
@@ -185,13 +218,64 @@ def _cmd_simulate(nodes: int, horizon: float, lras: int, tasks: int) -> int:
 
 
 def _cmd_trace_report(trace_file: str) -> int:
-    from .obs.report import render_trace_report
+    from .obs.report import TraceFileError, render_trace_report
 
     try:
         print(render_trace_report(trace_file))
-    except OSError as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
+    except TraceFileError as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.report import (
+        TraceFileError,
+        build_dashboard,
+        dashboard_verdict,
+        render_dashboard,
+        render_dashboard_html,
+    )
+
+    rules = None
+    if args.slo:
+        from .obs.slo import load_slo_rules
+
+        try:
+            rules = load_slo_rules(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"dashboard: cannot load SLO rules: {exc}", file=sys.stderr)
+            return 1
+    try:
+        summary = build_dashboard(
+            args.trace_file,
+            tick_s=args.tick,
+            max_points=args.max_points,
+            rules=rules,
+        )
+    except TraceFileError as exc:
+        print(f"dashboard: {exc}", file=sys.stderr)
+        return 1
+    title = f"Medea run dashboard — {args.trace_file}"
+    print(render_dashboard(summary, title=title))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"summary JSON written to {args.json}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_dashboard_html(summary, title=title))
+        print(f"HTML report written to {args.html}")
+    if args.fail_on_breach:
+        breached = dashboard_verdict(summary) == "fail"
+        diverged = not summary.get("replay", {}).get("ok", True)
+        if breached or diverged:
+            reason = "SLO breach" if breached else "replay divergence"
+            print(f"dashboard: failing on {reason}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -229,6 +313,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_parse(args.constraint)
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     tracing = _configure_tracing(args)
     if args.command == "compare":
         status = _cmd_compare(args.nodes, args.racks, args.instances,

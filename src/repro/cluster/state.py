@@ -8,6 +8,7 @@ evaluation inside scheduling loops is O(#groups) instead of O(cluster size).
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
@@ -19,7 +20,24 @@ from .node import Allocation, Node
 from .resources import Resource
 from .topology import ClusterTopology
 
-__all__ = ["ClusterState", "PlacedContainer"]
+__all__ = ["ClusterState", "PlacedContainer", "placement_fingerprint"]
+
+
+def placement_fingerprint(
+    placements: Mapping[str, str], down_nodes: Iterable[str] = ()
+) -> str:
+    """Deterministic digest of a (container → node) map plus down nodes.
+
+    Pure function of its inputs so the trace replayer (which reconstructs
+    the placement map from events alone, without a :class:`ClusterState`)
+    computes the exact same digest the simulation recorded.
+    """
+    digest = hashlib.sha256()
+    for container_id in sorted(placements):
+        digest.update(f"{container_id}@{placements[container_id]}\n".encode())
+    for node_id in sorted(set(down_nodes)):
+        digest.update(f"down:{node_id}\n".encode())
+    return digest.hexdigest()[:16]
 
 
 class PlacedContainer:
@@ -302,6 +320,33 @@ class ClusterState:
             return 0.0
         variance = sum((u - mean) ** 2 for u in utils) / len(utils)
         return (variance ** 0.5) / mean
+
+    def rack_memory_utilization(self) -> dict[str, float]:
+        """Per-rack memory utilisation (rack id → used/capacity)."""
+        used: dict[str, float] = {}
+        capacity: dict[str, float] = {}
+        for node in self.topology:
+            capacity[node.rack] = capacity.get(node.rack, 0.0) + node.capacity.memory_mb
+            if node.available:
+                used[node.rack] = used.get(node.rack, 0.0) + node.used.memory_mb
+        return {
+            rack: used.get(rack, 0.0) / capacity[rack]
+            for rack in sorted(capacity)
+            if capacity[rack] > 0
+        }
+
+    def down_node_ids(self) -> list[str]:
+        """Ids of currently unavailable nodes, sorted."""
+        return sorted(n.node_id for n in self.topology if not n.available)
+
+    def fingerprint(self) -> str:
+        """Digest of the current placement map and down-node set (see
+        :func:`placement_fingerprint`); recorded in ``sim.state_hash``
+        events and recomputed by the trace replayer."""
+        return placement_fingerprint(
+            {cid: placed.node_id for cid, placed in self._containers.items()},
+            self.down_node_ids(),
+        )
 
     def cluster_memory_utilization(self) -> float:
         total = self.topology.total_capacity()

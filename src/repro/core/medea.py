@@ -183,6 +183,18 @@ class MedeaScheduler:
         now = _shim_now("run_cycle", args, now)
         self._last_cycle_time = now
         tracer = self.tracer
+        pending_lras = len(self._pending)
+        self.metrics.gauge("medea_pending_lras").set(pending_lras)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SCHEDULER_QUEUE,
+                time=now,
+                data={
+                    "scheduler": self.lra_scheduler.name,
+                    "pending_lras": pending_lras,
+                    "pending_tasks": self.task_scheduler.pending_tasks(),
+                },
+            )
         if not self._pending:
             return PlacementResult()
         if self.max_batch_size is None:
@@ -243,6 +255,11 @@ class MedeaScheduler:
                             "attempt": outcome.attempts,
                             "nodes": sorted({p.node_id for p in placements}),
                             "containers": len(placements),
+                            # Full container → node map so the trace alone
+                            # suffices to reconstruct cluster state (replay).
+                            "placements": sorted(
+                                [p.container_id, p.node_id] for p in placements
+                            ),
                         },
                     )
 
@@ -258,6 +275,14 @@ class MedeaScheduler:
                 )
             self._resubmit(requests_by_id[app_id], outcome, now)
         if tracer.enabled:
+            # Audit the live state against the active constraints so every
+            # cycle's trace carries the paper's Fig. 9 signal.  Imported
+            # lazily: repro.metrics.violations depends on repro.core.
+            from ..metrics.violations import evaluate_violations
+
+            violation_report = evaluate_violations(
+                self.state, manager=self.manager, metrics=metrics
+            )
             tracer.emit(
                 EventKind.CYCLE_END,
                 time=now,
@@ -266,6 +291,8 @@ class MedeaScheduler:
                     "placed": sorted(placed_apps),
                     "rejected": sorted(result.rejected_apps),
                     "conflicted": sorted(conflicted_apps),
+                    "violations": violation_report.violating_containers,
+                    "violation_subjects": violation_report.subject_containers,
                 },
                 wall={"solve_time_s": result.solve_time_s},
             )
@@ -307,7 +334,11 @@ class MedeaScheduler:
             tracer.emit(
                 EventKind.LRA_COMPLETE,
                 time=now,
-                data={"app_id": app_id, "containers": len(released)},
+                data={
+                    "app_id": app_id,
+                    "containers": len(released),
+                    "released": sorted(c.container_id for c in released),
+                },
             )
 
     # -- heartbeats --------------------------------------------------------------

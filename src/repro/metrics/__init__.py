@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from .stats import (
+# The statistics helpers live in repro.obs.stats since the metrics worlds
+# were unified; this package re-exports them (repro.metrics.stats is the
+# warning deprecation shim for the old submodule path).
+from ..obs.stats import (
     BoxStats,
     EmptyDataError,
     cdf_points,

@@ -10,11 +10,12 @@ brute-force check tests use to validate the ILP encoding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Sequence
 
 from ..cluster.state import ClusterState
 from ..core.constraint_manager import ConstraintManager
 from ..core.constraints import CompoundConstraint, PlacementConstraint
+from ..obs.metrics import Metrics, get_metrics
 
 __all__ = ["ViolationReport", "evaluate_violations"]
 
@@ -45,18 +46,36 @@ class ViolationReport:
             return 0.0
         return self.violating_containers / self.subject_containers
 
+    def record_to(self, metrics: Metrics, **labels: Any) -> None:
+        """Fold this audit into a :class:`~repro.obs.metrics.Metrics`
+        registry: an evaluation counter plus ``violations_containers``
+        (labelled ``status=subject|violating``) and
+        ``violations_total_extent`` gauges."""
+        metrics.counter("violations_evaluations_total").inc(**labels)
+        containers = metrics.gauge("violations_containers")
+        containers.set(self.subject_containers, status="subject", **labels)
+        containers.set(self.violating_containers, status="violating", **labels)
+        metrics.gauge("violations_total_extent").set(self.total_extent, **labels)
+
 
 def evaluate_violations(
     state: ClusterState,
     constraints: Sequence[PlacementConstraint] | None = None,
     manager: ConstraintManager | None = None,
     compound: Sequence[CompoundConstraint] = (),
+    *,
+    metrics: Metrics | None = None,
 ) -> ViolationReport:
     """Audit the current placements against the active constraints.
 
     Pass either an explicit constraint list or a :class:`ConstraintManager`.
     Compound (DNF) constraints count as violated only if *every* conjunct is
     violated for the subject.
+
+    The resulting report is also recorded into ``metrics`` (the ambient
+    registry by default) — see :meth:`ViolationReport.record_to` — so
+    violation accounting shares the one telemetry channel instead of living
+    as a side system.
     """
     if constraints is None:
         if manager is None:
@@ -113,4 +132,5 @@ def evaluate_violations(
                 report.total_extent += best_extent
         if violated:
             report.violating_containers += 1
+    report.record_to(metrics if metrics is not None else get_metrics())
     return report

@@ -16,6 +16,18 @@ substrate):
   ``PlacementResult`` explains each placement: candidates considered,
   constraints that pruned them, and the winning score/objective terms.
 
+Built on top of those (ISSUE 3 / the paper's §7 evaluation signals):
+
+* **Timeline** — :class:`TimelineAggregator` folds a trace (live sink or
+  post-hoc JSONL) into bounded-memory per-tick series: utilization,
+  queue depths, container churn, solver latency, violations.
+* **SLO monitor** — :class:`SLOMonitor` judges declarative
+  :class:`SLORule` thresholds against a timeline, emitting typed
+  ``slo.breach`` events and a run-level verdict.
+* **Replay** — :func:`replay_jsonl` reconstructs cluster state from the
+  event stream and cross-checks every recorded ``sim.state_hash``,
+  reporting the first divergent tick.
+
 Ambient configuration::
 
     from repro import obs
@@ -27,7 +39,7 @@ Ambient configuration::
 
 from __future__ import annotations
 
-from . import report
+from . import report, stats
 from .audit import (
     PRUNE_CANDIDATE_POOL,
     PRUNE_CAPACITY,
@@ -48,6 +60,18 @@ from .metrics import (
     get_metrics,
     set_metrics,
 )
+from .replay import ReplayDivergence, ReplayReport, replay_events, replay_jsonl
+from .report import TraceFileError, build_dashboard, read_trace
+from .slo import (
+    SLOBreach,
+    SLOMonitor,
+    SLOReport,
+    SLOResult,
+    SLORule,
+    default_smoke_slos,
+    load_slo_rules,
+)
+from .timeline import TimelineAggregator, TimeSeries
 from .trace import (
     JsonlSink,
     MemorySink,
@@ -91,6 +115,27 @@ __all__ = [
     "PRUNE_UNAVAILABLE",
     "PRUNE_CONSTRAINT",
     "PRUNE_CANDIDATE_POOL",
-    # renderers
+    # timeline
+    "TimeSeries",
+    "TimelineAggregator",
+    # SLO monitor
+    "SLORule",
+    "SLOBreach",
+    "SLOResult",
+    "SLOReport",
+    "SLOMonitor",
+    "default_smoke_slos",
+    "load_slo_rules",
+    # replay
+    "ReplayDivergence",
+    "ReplayReport",
+    "replay_events",
+    "replay_jsonl",
+    # trace files + dashboard
+    "TraceFileError",
+    "read_trace",
+    "build_dashboard",
+    # renderers + moved stats helpers
     "report",
+    "stats",
 ]

@@ -37,6 +37,10 @@ class EventKind:
     # -- cluster simulation --------------------------------------------------
     SIM_HEARTBEAT = "sim.heartbeat"
     NODE_AVAILABILITY = "sim.node_availability"
+    #: Periodic fingerprint of the authoritative cluster state (placement
+    #: map + down nodes) plus utilisation aggregates; the anchor replay
+    #: validation cross-checks against.
+    SIM_STATE_HASH = "sim.state_hash"
 
     # -- LRA lifecycle (Medea facade) ----------------------------------------
     LRA_SUBMIT = "lra.submit"
@@ -60,6 +64,16 @@ class EventKind:
     # -- LRA schedulers ------------------------------------------------------
     SCHEDULER_PLACE = "scheduler.place"
     SCHEDULER_AUDIT = "scheduler.audit"
+    #: Pending-queue depths sampled at the top of every scheduling cycle.
+    SCHEDULER_QUEUE = "scheduler.queue"
+
+    # -- SLO monitor ---------------------------------------------------------
+    SLO_BREACH = "slo.breach"
+
+    # -- benchmark harness ---------------------------------------------------
+    #: Start of a fresh-cluster placement experiment; replay resets its
+    #: reconstructed state here (experiments in one session share a trace).
+    BENCH_EXPERIMENT = "bench.experiment"
 
     # -- MILP solver ---------------------------------------------------------
     SOLVER_PRESOLVE = "solver.presolve"

@@ -16,8 +16,11 @@ deprecation alias so existing imports continue to work.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
+
+from .stats import percentile as _percentile
 
 __all__ = [
     "Counter",
@@ -91,24 +94,60 @@ class Gauge(_Instrument):
         return {k: self._values[k] for k in sorted(self._values)}
 
 
+#: Bounded reservoir size backing timer percentiles (per label set).
+RESERVOIR_SIZE = 256
+#: Fixed seed for the per-stat reservoir RNG: same observation sequence →
+#: same retained sample → deterministic percentiles (Vitter's algorithm R).
+_RESERVOIR_SEED = 0x5EED
+
+
 @dataclass
 class TimerStat:
-    """Aggregate of one timer label set."""
+    """Aggregate of one timer label set.
+
+    Besides the count/total/min/max running aggregates it keeps a bounded
+    reservoir sample of observations so :meth:`percentile` (and the
+    ``p50_s``/``p95_s``/``p99_s`` snapshot fields) work at O(1) memory for
+    arbitrarily long runs.
+    """
 
     count: int = 0
     total_s: float = 0.0
     min_s: float = float("inf")
     max_s: float = 0.0
+    reservoir_size: int = RESERVOIR_SIZE
+    _samples: list[float] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+        repr=False,
+        compare=False,
+    )
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total_s += seconds
         self.min_s = min(self.min_s, seconds)
         self.max_s = max(self.max_s, seconds)
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._samples[slot] = seconds
 
     @property
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (in [0, 100]) over the reservoir sample; exact
+        while ``count <= reservoir_size``, an unbiased estimate beyond.
+        Returns 0.0 when nothing was observed."""
+        if not self._samples:
+            return 0.0
+        return _percentile(self._samples, q)
 
     def to_dict(self) -> dict[str, float]:
         return {
@@ -117,6 +156,9 @@ class TimerStat:
             "mean_s": self.mean_s,
             "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
         }
 
 

@@ -1,0 +1,179 @@
+"""Trace replay: reconstruct cluster state from events, verify state hashes.
+
+The simulation periodically records a fingerprint of its authoritative
+state (``sim.state_hash``: the container → node map plus the down-node
+set, digested by
+:func:`~repro.cluster.state.placement_fingerprint`).  The replayer walks a
+recorded trace, rebuilds the same placement map purely from lifecycle
+events — ``lra.place`` (its ``placements`` list), ``lra.complete``
+(``released``), ``task.allocate`` / ``task.release``, and
+``sim.node_availability`` — and recomputes the fingerprint at every
+checkpoint.  A mismatch pinpoints the first tick where the trace stops
+being a faithful account of the run: a corrupted/edited file, a
+non-deterministic emitter, or an instrumentation gap.
+
+Batch traces (``timed_place`` driven, no simulation) contain no
+checkpoints; they replay trivially with ``checks == 0`` and ``ok == True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..cluster.state import placement_fingerprint
+from .events import EventKind
+
+__all__ = ["ReplayDivergence", "ReplayReport", "replay_events", "replay_jsonl"]
+
+#: Divergences stored in full before the report only counts them.
+MAX_RECORDED_DIVERGENCES = 16
+
+
+@dataclass(frozen=True)
+class ReplayDivergence:
+    """One failed state-hash cross-check."""
+
+    seq: int
+    time: float | None
+    expected: str
+    actual: str
+    containers: int
+
+    def describe(self) -> str:
+        when = "?" if self.time is None else f"{self.time:.3f}s"
+        return (
+            f"tick {when} (seq {self.seq}): recorded hash {self.expected} != "
+            f"replayed {self.actual} ({self.containers} containers in replayed state)"
+        )
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace."""
+
+    events: int = 0
+    checks: int = 0
+    allocated: int = 0
+    released: int = 0
+    divergence_count: int = 0
+    divergences: list[ReplayDivergence] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence_count == 0
+
+    @property
+    def first_divergence(self) -> ReplayDivergence | None:
+        return self.divergences[0] if self.divergences else None
+
+    def to_obj(self) -> dict[str, Any]:
+        obj: dict[str, Any] = {
+            "ok": self.ok,
+            "events": self.events,
+            "checks": self.checks,
+            "allocated": self.allocated,
+            "released": self.released,
+            "divergences": self.divergence_count,
+            "warnings": list(self.warnings),
+        }
+        first = self.first_divergence
+        if first is not None:
+            obj["first_divergence"] = {
+                "seq": first.seq,
+                "time": first.time,
+                "expected": first.expected,
+                "actual": first.actual,
+            }
+        return obj
+
+
+def replay_events(events: Iterable[Mapping[str, Any]]) -> ReplayReport:
+    """Replay decoded event dicts and cross-check every state hash."""
+    report = ReplayReport()
+    placements: dict[str, str] = {}
+    down: set[str] = set()
+    missing_placements_warned = False
+    for obj in events:
+        report.events += 1
+        kind = obj.get("kind")
+        data = obj.get("data") or {}
+        if kind == EventKind.LRA_PLACE:
+            recorded = data.get("placements")
+            if recorded is None:
+                if not missing_placements_warned:
+                    missing_placements_warned = True
+                    report.warnings.append(
+                        "lra.place events carry no 'placements' map (trace "
+                        "predates replay support); state reconstruction is "
+                        "incomplete"
+                    )
+            else:
+                for container_id, node_id in recorded:
+                    placements[container_id] = node_id
+                    report.allocated += 1
+        elif kind == EventKind.LRA_COMPLETE:
+            for container_id in data.get("released", ()):
+                if placements.pop(container_id, None) is not None:
+                    report.released += 1
+        elif kind == EventKind.TASK_ALLOCATE:
+            task_id = data.get("task_id")
+            node_id = data.get("node_id")
+            if task_id is not None and node_id is not None:
+                placements[task_id] = node_id
+                report.allocated += 1
+        elif kind == EventKind.TASK_RELEASE:
+            task_id = data.get("task_id")
+            if task_id is not None and placements.pop(task_id, None) is not None:
+                report.released += 1
+        elif kind == EventKind.BENCH_EXPERIMENT:
+            # Fresh cluster: experiments in one session share a trace file.
+            placements.clear()
+            down.clear()
+        elif kind == EventKind.NODE_AVAILABILITY:
+            node_id = data.get("node_id")
+            if node_id is not None:
+                if data.get("up"):
+                    down.discard(node_id)
+                else:
+                    down.add(node_id)
+        elif kind == EventKind.SIM_STATE_HASH:
+            expected = data.get("hash")
+            if expected is None:
+                continue
+            report.checks += 1
+            actual = placement_fingerprint(placements, down)
+            if actual != expected:
+                report.divergence_count += 1
+                if len(report.divergences) < MAX_RECORDED_DIVERGENCES:
+                    report.divergences.append(
+                        ReplayDivergence(
+                            seq=obj.get("seq", -1),
+                            time=obj.get("time"),
+                            expected=expected,
+                            actual=actual,
+                            containers=len(placements),
+                        )
+                    )
+    if report.checks == 0:
+        report.warnings.append(
+            "trace contains no sim.state_hash checkpoints (batch trace?); "
+            "replay is vacuously valid"
+        )
+    return report
+
+
+def replay_jsonl(path: str) -> ReplayReport:
+    """Replay a recorded JSONL trace file (tolerates a trailing partial
+    line; raises :class:`~repro.obs.report.TraceFileError` on unusable
+    files)."""
+    from .report import read_trace
+
+    trace = read_trace(path)
+    report = replay_events(trace.events)
+    if trace.truncated:
+        report.warnings.append(
+            f"trailing partial line ignored (crashed run?): {path}"
+        )
+    return report

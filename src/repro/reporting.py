@@ -63,7 +63,7 @@ def render_cdf_summary(
     name: str, values: Sequence[float], *, unit: str = ""
 ) -> str:
     """Percentile summary of a distribution (compact CDF stand-in)."""
-    from .metrics.stats import percentile
+    from .obs.stats import percentile
 
     if not values:
         return f"{name}: (empty)"

@@ -9,7 +9,9 @@ nodes down and up (used by the resilience experiments).
 A :class:`~repro.obs.Tracer` (explicit, or the ambient one) threads through
 every layer: the engine stamps ``engine.dispatch`` events, the facade the
 LRA lifecycle, and the simulation itself emits ``sim.heartbeat``,
-``task.finish`` and ``sim.node_availability`` transitions.
+``sim.state_hash`` (the per-tick placement fingerprint + utilisation
+aggregates the replayer and timeline consume), ``task.finish`` and
+``sim.node_availability`` transitions.
 """
 
 from __future__ import annotations
@@ -122,6 +124,11 @@ class ClusterSimulation:
                 time=engine.now,
                 data={"allocations": len(allocations)},
             )
+            tracer.emit(
+                EventKind.SIM_STATE_HASH,
+                time=engine.now,
+                data=self._state_hash_data(),
+            )
         for allocation in allocations:
             duration = self._task_durations.pop(allocation.task_id, None)
             if duration is not None:
@@ -144,10 +151,29 @@ class ClusterSimulation:
         for observer in self.cycle_observers:
             observer(self, result)
 
+    def _state_hash_data(self) -> dict:
+        """Deterministic payload of one ``sim.state_hash`` event: the
+        placement-map fingerprint the replayer cross-checks, plus the
+        utilisation / queue-depth aggregates the timeline buckets."""
+        state = self.state
+        down = state.down_node_ids()
+        return {
+            "hash": state.fingerprint(),
+            "containers": len(state.containers),
+            "utilization": round(state.cluster_memory_utilization(), 6),
+            "utilization_by_rack": {
+                rack: round(util, 6)
+                for rack, util in state.rack_memory_utilization().items()
+            },
+            "pending_tasks": self.task_scheduler.pending_tasks(),
+            "pending_lras": self.medea.pending_lras(),
+            "nodes_down": len(down),
+        }
+
     def _finish_task(self, task_id: str) -> None:
         # The task may already be gone if the run was torn down.
         if task_id in self.state.containers:
-            self.task_scheduler.release_task(task_id)
+            self.task_scheduler.release_task(task_id, now=self.engine.now)
             tracer = self.tracer
             if tracer.enabled:
                 tracer.emit(

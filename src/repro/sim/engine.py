@@ -150,6 +150,10 @@ class SimulationEngine:
                     "callback": getattr(
                         event.callback, "__qualname__", type(event.callback).__name__
                     ),
+                    # O(1) depth of the event queue at dispatch (includes
+                    # cancelled-but-unpopped events); feeds the timeline's
+                    # engine backlog series.
+                    "queued": len(self._queue),
                 },
             )
         event.callback(self)

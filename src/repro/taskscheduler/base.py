@@ -154,7 +154,10 @@ class TaskBasedScheduler(abc.ABC):
                 )
         return allocations
 
-    def release_task(self, task_id: str) -> None:
+    def release_task(self, task_id: str, *, now: float | None = None) -> None:
+        """Release a finished task container.  ``now`` stamps the trace
+        event with the simulated clock so the timeline can bucket container
+        churn; ``None`` (legacy callers) leaves the event unstamped."""
         placed = self.state.release(task_id)
         queue_name = self._task_queue.pop(task_id, None)
         if queue_name is not None:
@@ -164,7 +167,7 @@ class TaskBasedScheduler(abc.ABC):
         if tracer.enabled:
             tracer.emit(
                 EventKind.TASK_RELEASE,
-                time=None,
+                time=now,
                 data={"task_id": task_id, "node_id": placed.node_id},
             )
 

@@ -1,0 +1,470 @@
+"""Tests for the timeline / SLO / replay layer (``repro.obs`` part 2).
+
+Covers the evaluation-signal tentpole: bounded-memory time-series
+aggregation, declarative SLO monitoring with typed breach events, trace
+replay with state-hash cross-checking (including corruption detection),
+dashboard byte-determinism for same-seed runs, timer percentiles, the
+``repro.metrics.stats`` → ``repro.obs.stats`` move, and the hardened
+trace-file reader behind ``repro trace-report`` / ``dashboard``.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    Resource,
+    SerialScheduler,
+    TaskRequest,
+    build_cluster,
+)
+from repro.core.constraints import anti_affinity
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    Metrics,
+    SLOMonitor,
+    SLORule,
+    TimelineAggregator,
+    TraceFileError,
+    Tracer,
+    TimeSeries,
+    build_dashboard,
+    default_smoke_slos,
+    replay_events,
+    replay_jsonl,
+)
+from repro.obs.metrics import set_metrics
+from repro.obs.report import read_trace
+from repro.obs.trace import set_tracer
+from repro.sim import ClusterSimulation, SimConfig
+from tests.helpers import make_lra
+
+
+@pytest.fixture()
+def isolate_obs():
+    """Save and restore the ambient tracer/metrics around a test."""
+    prev_tracer = set_tracer(None)
+    prev_metrics = set_metrics(Metrics())
+    yield
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+def _make_sim(tracer=None, metrics=None):
+    topo = build_cluster(6, racks=2, memory_mb=8 * 1024, vcores=8)
+    config = SimConfig(scheduling_interval_s=5.0, horizon_s=60.0)
+    return ClusterSimulation(
+        topo, SerialScheduler(), config=config, tracer=tracer, metrics=metrics
+    )
+
+
+def _drive(sim):
+    sim.submit_lra(
+        make_lra(
+            "web", containers=2, tags={"web"},
+            constraints=(anti_affinity("web", "web", "node"),),
+        ),
+        at=1.0,
+    )
+    sim.submit_lra(make_lra("db", containers=1, tags={"db"}), at=2.0,
+                   duration_s=20.0)
+    for i in range(5):
+        sim.submit_task(
+            TaskRequest(f"t{i}", "batch", Resource(512, 1), duration_s=4.0),
+            at=0.5 + i,
+        )
+    sim.run(40.0)
+
+
+def _traced_run(path):
+    tracer = Tracer([JsonlSink(path)])
+    sim = _make_sim(tracer=tracer, metrics=Metrics())
+    _drive(sim)
+    tracer.close()
+    return path
+
+
+class TestTimeSeries:
+    def test_mean_buckets(self):
+        s = TimeSeries("x", agg="mean", tick_s=1.0)
+        s.add(0.2, 1.0)
+        s.add(0.8, 3.0)
+        s.add(2.5, 5.0)
+        assert s.points() == [(0.0, 2.0), (2.0, 5.0)]
+
+    def test_sum_max_last(self):
+        for agg, expect in (("sum", 4.0), ("max", 3.0), ("last", 3.0)):
+            s = TimeSeries("x", agg=agg)
+            s.add(0.1, 1.0)
+            s.add(0.2, 3.0)
+            assert s.values() == [expect], agg
+
+    def test_out_of_order_samples_merge(self):
+        s = TimeSeries("x", agg="sum", tick_s=1.0)
+        s.add(5.0, 1.0)
+        s.add(0.5, 1.0)
+        s.add(5.9, 1.0)
+        assert s.points() == [(0.0, 1.0), (5.0, 2.0)]
+
+    def test_downsampling_bounds_memory(self):
+        s = TimeSeries("x", agg="sum", tick_s=1.0, max_points=8)
+        for t in range(100):
+            s.add(float(t), 1.0)
+        assert len(s) <= 8
+        assert s.tick_s > 1.0  # tick width doubled at least once
+        # No samples were lost: the per-tick sums still total 100.
+        assert sum(s.values()) == pytest.approx(100.0)
+
+    def test_mean_survives_coarsening(self):
+        s = TimeSeries("x", agg="mean", tick_s=1.0, max_points=4)
+        for t in range(16):
+            s.add(float(t), 2.0)
+        assert all(v == pytest.approx(2.0) for v in s.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", agg="median")
+        with pytest.raises(ValueError):
+            TimeSeries("x", tick_s=0.0)
+
+
+class TestTimelineAggregator:
+    def test_sim_trace_produces_paper_series(self, isolate_obs):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        timeline = TimelineAggregator()
+        timeline.consume_all(e.to_obj() for e in sink.events)
+        for name in ("utilization", "containers", "pending_lras",
+                     "task_queue_delay_s", "containers_started",
+                     "violations", "queue_depth:Serial"):
+            assert name in timeline.series, name
+            assert timeline.series[name].values(), name
+        assert any(n.startswith("rack_utilization:") for n in timeline.series)
+        span = timeline.time_span()
+        assert span is not None and span[1] <= 40.0
+
+    def test_live_sink_equals_posthoc(self, isolate_obs):
+        live = TimelineAggregator()
+        sink = MemorySink()
+        tracer = Tracer([sink, live])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        posthoc = TimelineAggregator()
+        posthoc.consume_all(e.to_obj() for e in sink.events)
+        assert live.summary() == posthoc.summary()
+
+    def test_volatile_series_segregated_under_wall(self, isolate_obs):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        timeline = TimelineAggregator()
+        timeline.consume_all(e.to_obj() for e in sink.events)
+        summary = timeline.summary()
+        assert "solver_latency_s:Serial" in summary["wall"]["series"]
+        assert not any(
+            name.startswith("solver_latency_s") for name in summary["series"]
+        )
+
+    def test_from_jsonl(self, tmp_path, isolate_obs):
+        path = _traced_run(tmp_path / "t.jsonl")
+        timeline = TimelineAggregator.from_jsonl(str(path))
+        assert timeline.series["utilization"].values()
+
+
+class TestReplay:
+    def test_sim_trace_replays_clean(self, isolate_obs):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        report = replay_events([e.to_obj() for e in sink.events])
+        assert report.ok
+        assert report.checks > 0
+        assert report.allocated > 0 and report.released > 0
+        assert not report.warnings
+
+    def test_corrupted_trace_detected_with_first_divergent_tick(
+        self, tmp_path, isolate_obs
+    ):
+        path = _traced_run(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        corrupted_at = None
+        for i, line in enumerate(lines):
+            obj = json.loads(line)
+            if obj["kind"] == "task.allocate":
+                obj["data"]["node_id"] += "-tampered"
+                lines[i] = json.dumps(obj, sort_keys=True)
+                corrupted_at = obj["time"]
+                break
+        assert corrupted_at is not None
+        path.write_text("\n".join(lines) + "\n")
+        report = replay_jsonl(str(path))
+        assert not report.ok
+        first = report.first_divergence
+        assert first is not None
+        # The first divergent checkpoint is the first one at/after the edit.
+        assert first.time >= corrupted_at
+        assert first.expected != first.actual
+        assert str(first.seq) in first.describe()
+
+    def test_batch_trace_vacuously_valid(self):
+        events = [{"kind": "lra.place", "seq": 0, "time": 0.0,
+                   "data": {"placements": [["c1", "n1"]]}}]
+        report = replay_events(events)
+        assert report.ok and report.checks == 0
+        assert any("no sim.state_hash" in w for w in report.warnings)
+
+
+class TestSLO:
+    def _timeline(self, **series_values):
+        timeline = TimelineAggregator()
+        for name, values in series_values.items():
+            series = timeline.series[name] = TimeSeries(name, agg="last")
+            for t, v in enumerate(values):
+                series.add(float(t), v)
+        return timeline
+
+    def test_pass_fail_skip(self):
+        timeline = self._timeline(queue=[1.0, 2.0, 3.0])
+        monitor = SLOMonitor([
+            SLORule(name="ok", series="queue", agg="max", threshold=5.0),
+            SLORule(name="bad", series="queue", agg="max", threshold=2.0),
+            SLORule(name="absent", series="nope", agg="max", threshold=1.0),
+        ])
+        report = monitor.evaluate(timeline)
+        by_name = {r.rule.name: r for r in report.results}
+        assert by_name["ok"].status == "pass"
+        assert by_name["bad"].status == "FAIL"
+        assert by_name["absent"].status == "skip"
+        assert report.verdict == "fail"
+        assert [b.rule.name for b in report.breaches] == ["bad"]
+
+    def test_glob_takes_worst_series(self):
+        timeline = self._timeline(**{"q:a": [1.0], "q:b": [9.0]})
+        rule = SLORule(name="r", series="q:*", agg="max", threshold=5.0)
+        result = SLOMonitor([rule]).evaluate(timeline).results[0]
+        assert result.status == "FAIL"
+        assert result.observed == pytest.approx(9.0)
+        assert result.matched_series == ("q:a", "q:b")
+
+    def test_percentile_agg(self):
+        timeline = self._timeline(lat=[float(i) for i in range(1, 101)])
+        rule = SLORule(name="p99", series="lat", agg="p99", threshold=98.0)
+        result = SLOMonitor([rule]).evaluate(timeline).results[0]
+        assert result.status == "FAIL"
+        assert result.observed > 98.0
+
+    def test_breach_emits_typed_event(self):
+        timeline = self._timeline(queue=[10.0])
+        monitor = SLOMonitor(
+            [SLORule(name="r", series="queue", agg="max", threshold=1.0)]
+        )
+        sink = MemorySink()
+        monitor.evaluate(timeline, tracer=Tracer([sink]))
+        kinds = [e.kind for e in sink.events]
+        assert kinds == ["slo.breach"]
+        assert sink.events[0].data["rule"] == "r"
+        assert sink.events[0].data["observed"] == 10.0
+
+    def test_rule_validation_and_roundtrip(self):
+        with pytest.raises(ValueError):
+            SLORule(name="x", series="s", threshold=1.0, agg="p999")
+        with pytest.raises(ValueError):
+            SLORule(name="x", series="s", threshold=1.0, op="==")
+        rule = SLORule(name="x", series="s", threshold=1.0, op=">", agg="min")
+        assert SLORule.from_obj(rule.to_obj()) == rule
+        with pytest.raises(ValueError, match="missing"):
+            SLORule.from_obj({"name": "x"})
+
+    def test_default_smoke_rules_pass_on_sim_trace(self, isolate_obs):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        sim = _make_sim(tracer=tracer, metrics=Metrics())
+        _drive(sim)
+        timeline = TimelineAggregator()
+        timeline.consume_all(e.to_obj() for e in sink.events)
+        report = SLOMonitor(default_smoke_slos()).evaluate(timeline)
+        assert report.ok, [r.to_obj() for r in report.results if not r.ok]
+
+
+class TestDashboardDeterminism:
+    def test_same_seed_summaries_byte_identical(self, tmp_path, isolate_obs):
+        a = _traced_run(tmp_path / "a.jsonl")
+        b = _traced_run(tmp_path / "b.jsonl")
+        summaries = []
+        for path in (a, b):
+            summary = build_dashboard(str(path))
+            summary.pop("wall", None)  # volatile wall-clock content
+            summaries.append(json.dumps(summary, sort_keys=True))
+        assert summaries[0] == summaries[1]
+
+    def test_replay_section_validates(self, tmp_path, isolate_obs):
+        path = _traced_run(tmp_path / "t.jsonl")
+        summary = build_dashboard(str(path))
+        assert summary["replay"]["ok"] is True
+        assert summary["replay"]["checks"] > 0
+        assert summary["slo"]["verdict"] == "pass"
+
+
+class TestTimerPercentiles:
+    def test_exact_below_reservoir_size(self):
+        metrics = Metrics()
+        timer = metrics.timer("lat")
+        for v in range(1, 101):
+            timer.observe(float(v))
+        stat = timer.stat()
+        assert stat.percentile(50) == pytest.approx(50.5)
+        assert stat.percentile(99) == pytest.approx(99.01)
+
+    def test_snapshot_includes_percentiles(self):
+        metrics = Metrics()
+        metrics.timer("lat").observe(2.0)
+        stat = metrics.snapshot()["timers"]["lat"][""]
+        for key in ("p50_s", "p95_s", "p99_s"):
+            assert stat[key] == pytest.approx(2.0)
+
+    def test_reservoir_bounded_and_deterministic(self):
+        stats = []
+        for _ in range(2):
+            metrics = Metrics()
+            timer = metrics.timer("lat")
+            for v in range(10_000):
+                timer.observe(float(v))
+            stats.append(timer.stat())
+        assert len(stats[0]._samples) == stats[0].reservoir_size
+        # Same observation sequence ⇒ same sampled reservoir (seeded RNG).
+        assert stats[0]._samples == stats[1]._samples
+        # The estimate stays in the right ballpark on a uniform ramp.
+        assert 7_000 < stats[0].percentile(90) < 10_000
+
+
+class TestStatsMove:
+    def test_metrics_package_import_warns_nothing(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.metrics import BoxStats, percentile  # noqa: F401
+
+    def test_old_module_path_warns(self):
+        import repro.metrics.stats as old
+
+        with pytest.warns(DeprecationWarning, match="repro.obs.stats"):
+            old.BoxStats
+        import repro.obs.stats as new
+
+        assert old.percentile is new.percentile
+
+    def test_box_stats_record_to_registry(self):
+        from repro.obs.stats import BoxStats
+
+        metrics = Metrics()
+        BoxStats.from_values([1.0, 2.0, 3.0]).record_to(metrics, "lat")
+        gauges = metrics.snapshot()["gauges"]["lat"]
+        assert gauges["stat=median"] == pytest.approx(2.0)
+        assert gauges["stat=count"] == 3
+
+    def test_violations_recorded_into_registry(self, isolate_obs):
+        from repro import ClusterState, ConstraintManager, evaluate_violations
+
+        topo = build_cluster(4)
+        state = ClusterState(topo)
+        manager = ConstraintManager(topo)
+        metrics = Metrics()
+        evaluate_violations(state, manager=manager, metrics=metrics)
+        snap = metrics.snapshot()
+        assert snap["counters"]["violations_evaluations_total"][""] == 1
+        assert "violations_containers" in snap["gauges"]
+
+
+class TestTraceFileReading:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFileError, match="cannot read"):
+            read_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFileError, match="no events"):
+            read_trace(str(path))
+
+    def test_corrupt_mid_file_names_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "a", "seq": 0}\nnot json\n{"kind": "b"}\n')
+        with pytest.raises(TraceFileError, match="line 2"):
+            read_trace(str(path))
+
+    def test_trailing_partial_line_tolerated(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"kind": "a", "seq": 0}\n{"kind": "b", "se')
+        trace = read_trace(str(path))
+        assert trace.truncated
+        assert [e["kind"] for e in trace.events] == ["a"]
+        with pytest.raises(TraceFileError):
+            read_trace(str(path), allow_partial_tail=False)
+
+
+class TestCli:
+    def test_trace_report_empty_file_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace-report", str(path)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+    def test_trace_report_tolerates_truncated(self, tmp_path, capsys,
+                                              isolate_obs):
+        path = _traced_run(tmp_path / "t.jsonl")
+        text = path.read_text()
+        path.write_text(text[:-20])  # cut into the final line
+        from repro.cli import main
+
+        assert main(["trace-report", str(path)]) == 0
+        assert "partial line" in capsys.readouterr().out
+
+    def test_dashboard_end_to_end(self, tmp_path, capsys, isolate_obs):
+        from repro.cli import main
+
+        path = _traced_run(tmp_path / "t.jsonl")
+        json_out = tmp_path / "dash.json"
+        html_out = tmp_path / "dash.html"
+        status = main([
+            "dashboard", str(path), "--json", str(json_out),
+            "--html", str(html_out), "--fail-on-breach",
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "SLO verdict: pass" in out
+        assert "replay: OK" in out
+        summary = json.loads(json_out.read_text())
+        assert summary["series"]["utilization"]["points"]
+        html = html_out.read_text()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "utilization" in html
+
+    def test_dashboard_missing_trace_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["dashboard", str(tmp_path / "nope.jsonl")]) == 1
+        assert "dashboard:" in capsys.readouterr().err
+
+    def test_dashboard_fail_on_breach(self, tmp_path, capsys, isolate_obs):
+        from repro.cli import main
+
+        path = _traced_run(tmp_path / "t.jsonl")
+        rules = tmp_path / "slo.json"
+        rules.write_text(json.dumps([
+            {"name": "impossible", "series": "utilization",
+             "agg": "max", "op": "<=", "threshold": -1.0},
+        ]))
+        assert main(["dashboard", str(path), "--slo", str(rules)]) == 0
+        assert main([
+            "dashboard", str(path), "--slo", str(rules), "--fail-on-breach",
+        ]) == 1
+        assert "failing on SLO breach" in capsys.readouterr().err
