@@ -68,18 +68,52 @@ def scaled(n: int) -> int:
 
 
 def write_bench_timeline(path: str | None = None) -> str:
-    """Dump :data:`BENCH_TIMELINES` as JSON; returns the path written."""
+    """Dump :data:`BENCH_TIMELINES` as JSON; returns the path written.
+
+    Schema 2: each benchmark carries a ``stats`` block (count/median/p95
+    per series, via :func:`repro.obs.bench.attach_stats`) — the summary
+    statistics ``repro bench-compare`` gates CI on.
+    """
+    from repro.obs.bench import attach_stats
+
     if path is None:
         path = os.environ.get(ENV_TIMELINE_OUT, DEFAULT_TIMELINE_OUT)
-    document = {
-        "schema": 1,
+    document = attach_stats({
         "benchmarks": {label: BENCH_TIMELINES[label]
                        for label in sorted(BENCH_TIMELINES)},
-    }
+    })
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def record_benchmark(
+    label: str,
+    *,
+    scheduler: str,
+    nodes: int,
+    apps: int,
+    series: dict[str, dict],
+) -> str:
+    """Register one benchmark entry in :data:`BENCH_TIMELINES`.
+
+    ``series`` maps series name → ``{"t": [...], "v": [...]}``.  Labels
+    already present are deduplicated with a ``#N`` suffix (re-runs within
+    one session).  Returns the label actually used.
+    """
+    if label in BENCH_TIMELINES:
+        suffix = 2
+        while f"{label} #{suffix}" in BENCH_TIMELINES:
+            suffix += 1
+        label = f"{label} #{suffix}"
+    BENCH_TIMELINES[label] = {
+        "scheduler": scheduler,
+        "nodes": nodes,
+        "apps": apps,
+        "series": series,
+    }
+    return label
 
 
 def make_schedulers(max_candidate_nodes: int = 60) -> dict[str, LRAScheduler]:
@@ -213,23 +247,18 @@ def run_placement_experiment(
                 },
             )
 
-    label = experiment or scheduler.name
-    if label in BENCH_TIMELINES:
-        suffix = 2
-        while f"{label} #{suffix}" in BENCH_TIMELINES:
-            suffix += 1
-        label = f"{label} #{suffix}"
-    BENCH_TIMELINES[label] = {
-        "scheduler": scheduler.name,
-        "nodes": num_nodes,
-        "apps": len(population),
-        "series": {
+    record_benchmark(
+        experiment or scheduler.name,
+        scheduler=scheduler.name,
+        nodes=num_nodes,
+        apps=len(population),
+        series={
             "utilization": {"t": ticks, "v": utilization},
             "queue_depth": {"t": ticks, "v": [float(q) for q in queue_depth]},
             "queue_delay_s": {"t": ticks, "v": latency},
             "solver_latency_s": {"t": ticks, "v": latency},
         },
-    }
+    )
 
     report = evaluate_violations(state, manager=manager)
     if solver_totals is not None and os.environ.get("SOLVER_STATS"):

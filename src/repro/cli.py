@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Six commands, each a thin wrapper over the library:
+Eight commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -14,6 +14,10 @@ Six commands, each a thin wrapper over the library:
 * ``dashboard`` — aggregate a JSONL trace into per-tick time series, replay
   it against its recorded state hashes, judge SLO rules, and render a
   terminal report (optionally ``--html`` / ``--json`` artifacts).
+* ``profile`` — span profile + per-app critical-path breakdown of a JSONL
+  trace, with collapsed-stack export for flamegraph.pl / speedscope.
+* ``bench-compare`` — gate a ``BENCH_*.json`` run against a committed
+  baseline (median/p95 with noise tolerance); exits non-zero on regression.
 
 Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``)
 or pass ``--trace-out FILE`` to ``compare``/``simulate`` to record the
@@ -24,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
@@ -96,6 +99,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-breach", action="store_true",
         help="exit non-zero when any SLO rule fails or the replay diverges",
     )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="span profile + critical-path breakdown of a JSONL trace",
+    )
+    p_profile.add_argument("trace_file", help="path to the .jsonl trace")
+    p_profile.add_argument(
+        "--collapsed", metavar="FILE", default=None,
+        help="write collapsed-stack lines (flamegraph.pl / speedscope input)",
+    )
+    p_profile.add_argument(
+        "--weight", choices=("time", "count"), default="time",
+        help="collapsed-stack weight: self-time µs (default) or the "
+             "deterministic sample count",
+    )
+    p_profile.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the profile + critical-path summary JSON to this file",
+    )
+
+    p_bench = sub.add_parser(
+        "bench-compare",
+        help="diff a BENCH_*.json run against a baseline; non-zero on regression",
+    )
+    p_bench.add_argument("baseline", help="committed BENCH_*.json baseline")
+    p_bench.add_argument("current", help="BENCH_*.json from the current run")
+    p_bench.add_argument(
+        "--ratio", type=float, default=None,
+        help="regression threshold multiplier (default 1.5)",
+    )
+    p_bench.add_argument(
+        "--abs-floor", type=float, default=None, metavar="SECONDS",
+        help="absolute slack added to every limit (default 0.02s)",
+    )
     return parser
 
 
@@ -140,6 +177,8 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
         build_cluster,
         evaluate_violations,
     )
+    from .obs.metrics import get_metrics
+    from .obs.spans import span
     from .reporting import render_table
     from .workloads import hbase_population
 
@@ -159,15 +198,22 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
         topology = build_cluster(nodes, racks=racks, memory_mb=16 * 1024, vcores=8)
         state = ClusterState(topology)
         manager = ConstraintManager(topology)
-        start = time.perf_counter()
-        for index in range(0, len(population), 2):
-            batch = population[index:index + 2]
-            for request in batch:
-                manager.register_application(request)
-            result = scheduler.place(batch, state, manager)
-            for p in result.placements:
-                state.allocate(p.container_id, p.node_id, p.resource, p.tags, p.app_id)
-        elapsed_ms = (time.perf_counter() - start) * 1000
+        # Timed through the obs layer (not a hand-rolled perf_counter pair)
+        # so CLI comparisons land in the same cli_compare_seconds timer and
+        # span profile as every other instrumented path.
+        with get_metrics().timer("cli_compare_seconds").time(
+            scheduler=scheduler.name
+        ) as timing, span(f"cli.compare:{scheduler.name}"):
+            for index in range(0, len(population), 2):
+                batch = population[index:index + 2]
+                for request in batch:
+                    manager.register_application(request)
+                result = scheduler.place(batch, state, manager)
+                for p in result.placements:
+                    state.allocate(
+                        p.container_id, p.node_id, p.resource, p.tags, p.app_id
+                    )
+        elapsed_ms = timing.elapsed_s * 1000
         report = evaluate_violations(state, manager=manager)
         rows.append([
             scheduler.name,
@@ -279,6 +325,66 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.profile import (
+        build_profile,
+        critical_paths,
+        render_critical_paths,
+        render_profile,
+    )
+    from .obs.report import TraceFileError, read_trace
+    from .reporting import banner
+
+    try:
+        trace = read_trace(args.trace_file)
+    except TraceFileError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 1
+    report = build_profile(trace.events)
+    paths = critical_paths(trace.events)
+    print(banner(f"Span profile — {args.trace_file}"))
+    print(render_profile(report))
+    print()
+    print(banner("Critical paths (per application)"))
+    print(render_critical_paths(paths))
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(report.collapsed(weight=args.weight))
+        print(f"\ncollapsed stacks ({args.weight}) written to {args.collapsed}")
+    if args.json:
+        summary = {
+            "profile": report.to_obj(),
+            "critical_paths": [p.to_obj() for p in paths],
+            "wall": {"profile": report.wall_obj()},
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"profile JSON written to {args.json}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .obs import bench
+
+    kwargs = {}
+    if args.ratio is not None:
+        kwargs["ratio"] = args.ratio
+    if args.abs_floor is not None:
+        kwargs["abs_floor_s"] = args.abs_floor
+    try:
+        comparison = bench.compare_bench_files(
+            args.baseline, args.current, **kwargs
+        )
+    except (OSError, ValueError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 1
+    print(bench.render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
 def _configure_tracing(args: argparse.Namespace) -> bool:
     """Honour MEDEA_TRACE / MEDEA_TRACE_OUT and the --trace-out flag.
     Returns True when an enabled tracer is installed for this invocation."""
@@ -315,6 +421,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace_report(args.trace_file)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "bench-compare":
+        return _cmd_bench_compare(args)
     tracing = _configure_tracing(args)
     if args.command == "compare":
         status = _cmd_compare(args.nodes, args.racks, args.instances,

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from ..cluster.state import ClusterState
 from ..obs.events import EventKind
 from ..obs.metrics import Metrics, get_metrics
+from ..obs.spans import span
 from ..obs.trace import Tracer, get_tracer
 from ..taskscheduler.base import PlacementConflictError, TaskBasedScheduler
 from .constraint_manager import ConstraintManager
@@ -202,6 +203,17 @@ class MedeaScheduler:
         else:
             batch = self._pending[: self.max_batch_size]
             self._pending = self._pending[self.max_batch_size:]
+        with span(
+            "medea.cycle",
+            tracer=tracer,
+            time=now,
+            scheduler=self.lra_scheduler.name,
+        ):
+            return self._run_cycle_batch(batch, now, tracer)
+
+    def _run_cycle_batch(
+        self, batch: list[LRARequest], now: float, tracer: Tracer
+    ) -> PlacementResult:
         if tracer.enabled:
             tracer.emit(
                 EventKind.CYCLE_START,

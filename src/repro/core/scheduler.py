@@ -23,6 +23,7 @@ from ..cluster.state import ClusterState
 from ..obs.audit import DecisionAudit
 from ..obs.events import EventKind
 from ..obs.metrics import Metrics, SolverStats, get_metrics
+from ..obs.spans import span
 from ..obs.trace import get_tracer
 from .constraint_manager import ConstraintManager
 from .requests import ContainerRequest, LRARequest
@@ -165,7 +166,8 @@ class LRAScheduler(abc.ABC):
         (through ``tracer``, or the ambient one).
         """
         start = time.perf_counter()
-        result = self._call_place(requests, state, manager, now)
+        with span(f"place:{self.name}", tracer=tracer, time=now):
+            result = self._call_place(requests, state, manager, now)
         result.solve_time_s = time.perf_counter() - start
         registry = metrics if metrics is not None else get_metrics()
         registry.timer("scheduler_place_seconds").observe(

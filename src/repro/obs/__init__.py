@@ -28,6 +28,19 @@ Built on top of those (ISSUE 3 / the paper's §7 evaluation signals):
   event stream and cross-checks every recorded ``sim.state_hash``,
   reporting the first divergent tick.
 
+And the profiling layer (ISSUE 4 / the paper's §7.3–§7.5 latency
+attribution):
+
+* **Spans** — :func:`span` / :func:`span_phase` record hierarchical,
+  zero-cost-when-disabled phase timings as ``span`` trace events;
+  :func:`build_profile` aggregates them into a :class:`ProfileReport`
+  (self/total time per path, collapsed-stack export for flamegraphs).
+* **Critical paths** — :func:`critical_paths` attributes each placed app's
+  end-to-end latency to queue wait → constraint retries → solver time.
+* **Bench gate** — :func:`compare_bench` diffs a ``BENCH_*.json`` run
+  against a committed baseline (median/p95, noise-tolerant) so CI can fail
+  on perf regressions (``repro bench-compare``).
+
 Ambient configuration::
 
     from repro import obs
@@ -49,6 +62,14 @@ from .audit import (
     ContainerDecision,
     DecisionAudit,
 )
+from .bench import (
+    BenchCheck,
+    BenchComparison,
+    compare_bench,
+    compare_bench_files,
+    load_bench,
+    series_stats,
+)
 from .events import WALL_KEY, EventKind, TraceEvent, canonical
 from .metrics import (
     Counter,
@@ -59,6 +80,13 @@ from .metrics import (
     TimerStat,
     get_metrics,
     set_metrics,
+)
+from .profile import (
+    AppCriticalPath,
+    ProfileReport,
+    SpanStat,
+    build_profile,
+    critical_paths,
 )
 from .replay import ReplayDivergence, ReplayReport, replay_events, replay_jsonl
 from .report import TraceFileError, build_dashboard, read_trace
@@ -71,6 +99,7 @@ from .slo import (
     default_smoke_slos,
     load_slo_rules,
 )
+from .spans import Span, current_span_path, span, span_phase
 from .timeline import TimelineAggregator, TimeSeries
 from .trace import (
     JsonlSink,
@@ -131,6 +160,23 @@ __all__ = [
     "ReplayReport",
     "replay_events",
     "replay_jsonl",
+    # spans + profiles
+    "span",
+    "span_phase",
+    "Span",
+    "current_span_path",
+    "SpanStat",
+    "ProfileReport",
+    "build_profile",
+    "AppCriticalPath",
+    "critical_paths",
+    # bench gate
+    "series_stats",
+    "load_bench",
+    "BenchCheck",
+    "BenchComparison",
+    "compare_bench",
+    "compare_bench_files",
     # trace files + dashboard
     "TraceFileError",
     "read_trace",

@@ -1,0 +1,272 @@
+"""Benchmark baselines and the perf-regression gate.
+
+The benchmark harness dumps per-experiment time series into a versioned
+``BENCH_*.json`` document (:data:`SCHEMA_VERSION`); this module turns that
+document into a *gate*: a committed baseline plus :func:`compare_bench`,
+which diffs the median / p95 of each timing series against the baseline
+with an explicit noise tolerance and reports regressions.  ``repro
+bench-compare BASELINE CURRENT`` is the CLI wrapper CI runs — exit status
+non-zero on any regression — so "as fast as the hardware allows" finally
+has an enforcement point instead of an empty trajectory.
+
+Schema (``schema: 2``)::
+
+    {"schema": 2,
+     "benchmarks": {
+        "<label>": {"scheduler": ..., "nodes": ..., "apps": ...,
+                    "series": {"<name>": {"t": [...], "v": [...]}},
+                    "stats":  {"<name>": {"count": n, "median": m,
+                                          "p95": p}}}}}
+
+Schema 1 documents (no ``stats``) are accepted; stats are recomputed from
+the raw series.  Comparison is tolerant by construction: a series counts as
+regressed only when ``current > baseline * ratio + abs_floor_s``, so
+machine-to-machine jitter below the floor never trips the gate while a
+genuine 2× solver-latency regression always does (with the default 1.5×
+ratio).  Benchmarks or series present on only one side are reported as
+skips, never failures — baselines stay forward-compatible as experiments
+are added.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..reporting import render_table
+from .stats import percentile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_RATIO",
+    "DEFAULT_ABS_FLOOR_S",
+    "DEFAULT_GATED_SERIES",
+    "series_stats",
+    "attach_stats",
+    "load_bench",
+    "BenchCheck",
+    "BenchComparison",
+    "compare_bench",
+    "compare_bench_files",
+    "render_comparison",
+]
+
+#: Current ``BENCH_*.json`` schema version.
+SCHEMA_VERSION = 2
+
+#: A series regresses when ``current > baseline * ratio + abs_floor_s``.
+DEFAULT_RATIO = 1.5
+#: Absolute slack in seconds (absorbs scheduler-noise on sub-ms medians).
+DEFAULT_ABS_FLOOR_S = 0.02
+
+#: Wall-time series gated by default; level series (utilisation, queue
+#: depth) are quality signals, not perf, and stay out of the gate.
+DEFAULT_GATED_SERIES = ("solver_latency_s", "queue_delay_s")
+
+_GATED_STATS = ("median", "p95")
+
+
+def series_stats(values: Sequence[float]) -> dict[str, float] | None:
+    """Median / p95 / count of one series; ``None`` on zero observations
+    (the defined-value guard — callers skip instead of raising)."""
+    if not values:
+        return None
+    return {
+        "count": len(values),
+        "median": round(percentile(values, 50), 9),
+        "p95": round(percentile(values, 95), 9),
+    }
+
+
+def attach_stats(document: dict[str, Any]) -> dict[str, Any]:
+    """Fill the ``stats`` block of every benchmark in ``document`` (in
+    place) from its raw series and stamp :data:`SCHEMA_VERSION`."""
+    document["schema"] = SCHEMA_VERSION
+    for entry in document.get("benchmarks", {}).values():
+        stats: dict[str, Any] = {}
+        for name, series in (entry.get("series") or {}).items():
+            computed = series_stats(series.get("v") or [])
+            if computed is not None:
+                stats[name] = computed
+        entry["stats"] = stats
+    return document
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Load a ``BENCH_*.json`` document, upgrading schema-1 files by
+    computing their ``stats`` blocks on the fly."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "benchmarks" not in document:
+        raise ValueError(f"{path}: not a BENCH json document (no 'benchmarks')")
+    schema = document.get("schema", 1)
+    if schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema {schema} is newer than supported {SCHEMA_VERSION}"
+        )
+    needs_stats = any(
+        "stats" not in entry for entry in document["benchmarks"].values()
+    )
+    if needs_stats:
+        attach_stats(document)
+    return document
+
+
+@dataclass(frozen=True)
+class BenchCheck:
+    """One (benchmark, series, statistic) comparison."""
+
+    benchmark: str
+    series: str
+    stat: str
+    baseline: float
+    current: float
+    limit: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline <= 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline/current diff."""
+
+    ratio: float
+    abs_floor_s: float
+    checks: list[BenchCheck] = field(default_factory=list)
+    #: ``(benchmark, series, reason)`` triples that could not be compared.
+    skipped: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchCheck]:
+        return [check for check in self.checks if check.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "ratio": self.ratio,
+            "abs_floor_s": self.abs_floor_s,
+            "checks": [
+                {
+                    "benchmark": c.benchmark,
+                    "series": c.series,
+                    "stat": c.stat,
+                    "baseline": c.baseline,
+                    "current": c.current,
+                    "limit": c.limit,
+                    "regressed": c.regressed,
+                }
+                for c in self.checks
+            ],
+            "skipped": [list(item) for item in self.skipped],
+        }
+
+
+def compare_bench(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    ratio: float = DEFAULT_RATIO,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+    series: Sequence[str] = DEFAULT_GATED_SERIES,
+) -> BenchComparison:
+    """Diff two BENCH documents over the gated timing series."""
+    comparison = BenchComparison(ratio=ratio, abs_floor_s=abs_floor_s)
+    base_benchmarks = baseline.get("benchmarks", {})
+    cur_benchmarks = current.get("benchmarks", {})
+    for label in sorted(base_benchmarks):
+        if label not in cur_benchmarks:
+            comparison.skipped.append((label, "*", "missing from current run"))
+            continue
+        base_stats = base_benchmarks[label].get("stats") or {}
+        cur_stats = cur_benchmarks[label].get("stats") or {}
+        for name in series:
+            if name not in base_stats:
+                continue  # baseline never measured it; nothing to gate
+            if name not in cur_stats:
+                comparison.skipped.append(
+                    (label, name, "series missing from current run")
+                )
+                continue
+            for stat in _GATED_STATS:
+                base_value = float(base_stats[name].get(stat, 0.0))
+                cur_value = float(cur_stats[name].get(stat, 0.0))
+                limit = base_value * ratio + abs_floor_s
+                comparison.checks.append(
+                    BenchCheck(
+                        benchmark=label,
+                        series=name,
+                        stat=stat,
+                        baseline=base_value,
+                        current=cur_value,
+                        limit=limit,
+                        regressed=cur_value > limit,
+                    )
+                )
+    for label in sorted(cur_benchmarks):
+        if label not in base_benchmarks:
+            comparison.skipped.append(
+                (label, "*", "not in baseline (new benchmark)")
+            )
+    return comparison
+
+
+def compare_bench_files(
+    baseline_path: str,
+    current_path: str,
+    *,
+    ratio: float = DEFAULT_RATIO,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+    series: Sequence[str] = DEFAULT_GATED_SERIES,
+) -> BenchComparison:
+    """File-level wrapper around :func:`compare_bench`."""
+    return compare_bench(
+        load_bench(baseline_path),
+        load_bench(current_path),
+        ratio=ratio,
+        abs_floor_s=abs_floor_s,
+        series=series,
+    )
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """Fixed-width report: one row per check, regressions flagged."""
+    parts = []
+    if comparison.checks:
+        rows = []
+        for check in comparison.checks:
+            rows.append([
+                check.benchmark,
+                check.series,
+                check.stat,
+                f"{check.baseline * 1000:.2f}",
+                f"{check.current * 1000:.2f}",
+                f"{check.limit * 1000:.2f}",
+                "REGRESSED" if check.regressed else "ok",
+            ])
+        parts.append(render_table(
+            ["benchmark", "series", "stat", "base ms", "now ms", "limit ms",
+             "status"],
+            rows,
+        ))
+    else:
+        parts.append("(no comparable series between baseline and current)")
+    for benchmark, name, reason in comparison.skipped:
+        parts.append(f"note: {benchmark}/{name}: {reason}")
+    verdict = "PASS" if comparison.ok else "FAIL"
+    parts.append(
+        f"bench-compare verdict: {verdict} "
+        f"({len(comparison.regressions)} regression(s) across "
+        f"{len(comparison.checks)} checks; tolerance {comparison.ratio:g}x "
+        f"+ {comparison.abs_floor_s * 1000:g}ms)"
+    )
+    return "\n".join(parts)

@@ -70,6 +70,12 @@ class EventKind:
     # -- SLO monitor ---------------------------------------------------------
     SLO_BREACH = "slo.breach"
 
+    # -- hierarchical spans (repro.obs.spans) --------------------------------
+    #: One closed span: ``data`` carries the deterministic identity (name,
+    #: ``;``-joined ancestor path, depth, sample count), ``wall`` the
+    #: volatile duration / self-time measurements.
+    SPAN = "span"
+
     # -- benchmark harness ---------------------------------------------------
     #: Start of a fresh-cluster placement experiment; replay resets its
     #: reconstructed state here (experiments in one session share a trace).

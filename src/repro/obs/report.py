@@ -197,6 +197,7 @@ def build_dashboard(
     verdicts over them, replay outcome) sit at the top level; anything
     derived from wall-clock measurements sits under ``"wall"``.
     """
+    from .profile import build_profile, critical_paths
     from .replay import replay_events
     from .slo import SLOMonitor, default_smoke_slos
     from .timeline import DEFAULT_MAX_POINTS, DEFAULT_TICK_S, TimelineAggregator
@@ -226,6 +227,27 @@ def build_dashboard(
             "verdict": "fail" if any(r.status == "FAIL" for r in volatile) else "pass",
             "rules": [r.to_obj() for r in volatile],
         }
+
+    # Span profile + per-app critical paths.  Identities/counts and the
+    # simulated-clock attribution are deterministic and sit at the top
+    # level; every wall-clock timing (span durations, per-app solver time)
+    # is hoisted under the summary's single top-level "wall" key so the
+    # byte-determinism contract over the stripped summary keeps holding.
+    profile = build_profile(trace.events)
+    summary["profile"] = profile.to_obj()
+    path_objs: list[dict[str, Any]] = []
+    paths_wall: dict[str, Any] = {}
+    for app_path in critical_paths(trace.events):
+        obj = app_path.to_obj()
+        paths_wall[app_path.app_id] = obj.pop(WALL_KEY)
+        path_objs.append(obj)
+    summary["critical_paths"] = path_objs
+    if profile.spans or paths_wall:
+        wall = summary.setdefault(WALL_KEY, {})
+        if profile.spans:
+            wall["profile"] = profile.wall_obj()
+        if paths_wall:
+            wall["critical_paths"] = paths_wall
     return summary
 
 
@@ -275,6 +297,63 @@ def _series_rows(series: Mapping[str, Any]) -> list[list[Any]]:
 
 _SERIES_HEADERS = ["series", "agg", "tick s", "pts", "min", "mean", "max", "last"]
 
+_PROFILE_HEADERS = ["span", "count", "total ms", "self ms"]
+_CRITICAL_PATH_HEADERS = [
+    "app", "status", "e2e s", "queue s", "retry s", "solver ms",
+    "attempts", "cycles",
+]
+
+
+def _profile_rows(summary: Mapping[str, Any]) -> list[list[Any]]:
+    """Span-profile rows joining the deterministic identities/counts with
+    the wall-clock timings hoisted under the summary's ``wall`` key."""
+    wall_times = (summary.get(WALL_KEY) or {}).get("profile", {})
+    rows: list[list[Any]] = []
+    for span_obj in summary.get("profile", {}).get("spans", ()):
+        path = span_obj.get("path", "")
+        times = wall_times.get(path, {})
+        indent = "  " * path.count(";")
+        rows.append([
+            indent + path.rsplit(";", 1)[-1],
+            span_obj.get("count", 0),
+            _fmt_opt_ms(times.get("total_s")),
+            _fmt_opt_ms(times.get("self_s")),
+        ])
+    return rows
+
+
+def _fmt_opt_ms(seconds: Any) -> str:
+    return "-" if seconds is None else f"{float(seconds) * 1000:.2f}"
+
+
+def _fmt_opt_s(seconds: Any) -> str:
+    return "-" if seconds is None else f"{float(seconds):.3f}"
+
+
+def _critical_path_rows(summary: Mapping[str, Any]) -> list[list[Any]]:
+    wall_paths = (summary.get(WALL_KEY) or {}).get("critical_paths", {})
+    rows: list[list[Any]] = []
+    for obj in summary.get("critical_paths", ()):
+        app_id = obj.get("app_id", "?")
+        if obj.get("dropped"):
+            status = "dropped"
+        elif obj.get("placed_time") is not None:
+            status = "placed"
+        else:
+            status = "pending"
+        solver = (wall_paths.get(app_id) or {}).get("solver_wall_s")
+        rows.append([
+            app_id,
+            status,
+            _fmt_opt_s(obj.get("latency_s")),
+            _fmt_opt_s(obj.get("queue_wait_s")),
+            _fmt_opt_s(obj.get("retry_wait_s")),
+            _fmt_opt_ms(solver),
+            obj.get("attempts", 0),
+            obj.get("cycles", 0),
+        ])
+    return rows
+
 
 def render_dashboard(summary: Mapping[str, Any], *, title: str = "dashboard") -> str:
     """Terminal rendering of a :func:`build_dashboard` summary."""
@@ -314,6 +393,17 @@ def render_dashboard(summary: Mapping[str, Any], *, title: str = "dashboard") ->
     if wall_series:
         parts.append("wall-clock series (volatile):")
         parts.append(render_table(_SERIES_HEADERS, _series_rows(wall_series)))
+
+    profile_rows = _profile_rows(summary)
+    if profile_rows:
+        parts.append("")
+        parts.append("span profile (times are wall clock, volatile):")
+        parts.append(render_table(_PROFILE_HEADERS, profile_rows))
+    cp_rows = _critical_path_rows(summary)
+    if cp_rows:
+        parts.append("")
+        parts.append("critical paths (per application):")
+        parts.append(render_table(_CRITICAL_PATH_HEADERS, cp_rows))
 
     slo_rows = _slo_rows(summary)
     if slo_rows:
@@ -499,6 +589,7 @@ _HTML_STYLE = """
   font-variant-numeric: tabular-nums;
 }
 .viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root pre.cell { margin: 0; font: inherit; white-space: pre; }
 .viz-root .charts {
   display: grid; grid-template-columns: repeat(auto-fill, minmax(340px, 1fr));
   gap: 16px; margin-top: 8px;
@@ -580,6 +671,39 @@ def render_dashboard_html(
             + charts_for(wall_series, "--series-2")
         )
 
+    def table_block(heading: str, headers: list[str], rows: list[list[Any]],
+                    note: str = "") -> str:
+        if not rows:
+            return ""
+        head = "".join(f"<th>{_html.escape(str(h))}</th>" for h in headers)
+        body = "".join(
+            "<tr>" + "".join(
+                # Preserve the profile tree's indentation in HTML cells.
+                "<td><pre class='cell'>{}</pre></td>".format(
+                    _html.escape(str(cell))
+                )
+                for cell in row
+            ) + "</tr>"
+            for row in rows
+        )
+        note_html = f"<p class='note'>{note}</p>" if note else ""
+        return (
+            f"<h2>{_html.escape(heading)}</h2>{note_html}"
+            f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+        )
+
+    profile_block = table_block(
+        "Span profile",
+        _PROFILE_HEADERS,
+        _profile_rows(summary),
+        note="times are wall clock (volatile); counts are deterministic",
+    )
+    critical_path_block = table_block(
+        "Critical paths (per application)",
+        _CRITICAL_PATH_HEADERS,
+        _critical_path_rows(summary),
+    )
+
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -607,6 +731,8 @@ releases reconstructed from events.</p>
 <h2>Time series</h2>
 {charts_for(series, "--series-1")}
 {wall_block}
+{profile_block}
+{critical_path_block}
 </body>
 </html>
 """

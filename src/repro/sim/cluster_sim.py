@@ -26,6 +26,7 @@ from ..core.requests import LRARequest, TaskRequest
 from ..core.scheduler import LRAScheduler
 from ..obs.events import EventKind
 from ..obs.metrics import Metrics, get_metrics
+from ..obs.spans import span
 from ..obs.trace import Tracer, get_tracer
 from ..taskscheduler.base import TaskBasedScheduler
 from ..taskscheduler.capacity import CapacityScheduler
@@ -116,6 +117,10 @@ class ClusterSimulation:
             self.cycle_handle.cancel()
 
     def _heartbeat_tick(self, engine: SimulationEngine) -> None:
+        with span("sim.heartbeat", tracer=self.tracer, time=engine.now):
+            self._heartbeat_tick_impl(engine)
+
+    def _heartbeat_tick_impl(self, engine: SimulationEngine) -> None:
         allocations = self.medea.heartbeat_all(engine.now)
         tracer = self.tracer
         if tracer.enabled:
@@ -138,6 +143,10 @@ class ClusterSimulation:
                 )
 
     def _cycle_tick(self, engine: SimulationEngine) -> None:
+        with span("sim.cycle", tracer=self.tracer, time=engine.now):
+            self._cycle_tick_impl(engine)
+
+    def _cycle_tick_impl(self, engine: SimulationEngine) -> None:
         result = self.medea.run_cycle(now=engine.now)
         for placement in result.placements:
             app_id = placement.app_id

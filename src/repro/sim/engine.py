@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..obs.events import EventKind
+from ..obs.spans import span
 from ..obs.trace import Tracer, get_tracer
 
 __all__ = ["SimulationEngine", "PeriodicHandle"]
@@ -160,7 +161,16 @@ class SimulationEngine:
 
     def run(self, until: float | None = None) -> float:
         """Drain events (optionally up to simulated time ``until``); returns
-        the final clock value."""
+        the final clock value.
+
+        Traced as an ``engine.run`` span, the root of the simulation's span
+        tree: heartbeat / cycle / solver phases all nest inside it, and its
+        self time is the loop's own dispatch overhead.
+        """
+        with span("engine.run", tracer=self.tracer, time=self.now):
+            return self._run(until)
+
+    def _run(self, until: float | None) -> float:
         self._running = True
         try:
             while self._queue:

@@ -51,6 +51,7 @@ except Exception:  # pragma: no cover - depends on scipy build
     _hcore = None
 
 from ..obs.events import EventKind
+from ..obs.spans import span, span_phase
 from ..obs.trace import get_tracer
 from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 from .presolve import PresolveResult, StandardForm, presolve, standard_form
@@ -384,7 +385,35 @@ def _solution(
 def solve_branch_and_bound(
     model: MilpModel, options: BnBOptions | None = None
 ) -> MilpSolution:
-    """Solve ``model`` exactly (within tolerances) by branch-and-bound."""
+    """Solve ``model`` exactly (within tolerances) by branch-and-bound.
+
+    When tracing is on, the solve runs inside a ``solver.bnb`` span with
+    synthetic ``presolve`` / ``lp`` / ``heuristic`` child phases taken from
+    the solve's :class:`SolverStats` — the span's *self* time is therefore
+    the branching/search remainder.  Per-node LPs are far too hot for real
+    child spans; the aggregated phases keep the trace bounded.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _solve_bnb(model, options)
+    with span("solver.bnb", tracer=tracer):
+        solution = _solve_bnb(model, options)
+        stats = solution.stats
+        if stats is not None:
+            span_phase("presolve", stats.time_presolve_s, tracer=tracer)
+            span_phase(
+                "lp",
+                stats.time_lp_s,
+                count=max(1, stats.lp_solves),
+                tracer=tracer,
+            )
+            span_phase("heuristic", stats.time_heuristic_s, tracer=tracer)
+    return solution
+
+
+def _solve_bnb(
+    model: MilpModel, options: BnBOptions | None = None
+) -> MilpSolution:
     options = options or BnBOptions()
     start = time.perf_counter()
     stats = SolverStats(backend="bnb")
@@ -524,8 +553,13 @@ def solve_branch_and_bound(
             incumbent_obj = completion.fun
             stats.heuristic_incumbents += 1
         # The completion LP's time is booked under the LP phase; the
-        # heuristic phase keeps only the rounding overhead.
-        stats.time_heuristic_s += (time.perf_counter() - t0) - (ctx.lp_time - lp_before)
+        # heuristic phase keeps only the rounding overhead.  Clamped: timer
+        # resolution can make the LP-time delta exceed the outer elapsed
+        # time, and a negative phase would break the ≤ time_total_s
+        # invariant the phase accounting promises.
+        stats.time_heuristic_s += max(
+            0.0, (time.perf_counter() - t0) - (ctx.lp_time - lp_before)
+        )
 
     heap: list[tuple[float, int, _Node]] = []
     heapq.heappush(

@@ -14,6 +14,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..obs.events import EventKind
+from ..obs.spans import span
 from ..obs.trace import get_tracer
 from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 
@@ -52,6 +53,16 @@ _STATUS_MAP = {
 
 
 def solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSolution:
+    """Solve via SciPy's HiGHS backend; traced as a ``solver.highs`` span.
+
+    HiGHS is a black box, so unlike :func:`solve_branch_and_bound` the span
+    has no phase children — its self time is the whole solve.
+    """
+    with span("solver.highs"):
+        return _solve_highs(model, options)
+
+
+def _solve_highs(model: MilpModel, options: HighsOptions | None = None) -> MilpSolution:
     options = options or HighsOptions()
     start = time.perf_counter()
     sign = -1.0 if model.sense is Sense.MAXIMIZE else 1.0

@@ -1,0 +1,255 @@
+"""Tests for the perf-regression gate (``repro.obs.bench``).
+
+Schema-2 stats computation (with the zero-observation guard), the
+baseline/current comparison semantics — the committed-tolerance contract
+that an injected 2× solver-latency regression *must* fail the gate while
+within-noise drift must pass — schema-1 upgrades, skip handling for
+benchmarks on only one side, and the ``repro bench-compare`` CLI exit
+codes.  The benchmark harness's schema-2 writer is covered too.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.bench import (
+    DEFAULT_ABS_FLOOR_S,
+    DEFAULT_RATIO,
+    SCHEMA_VERSION,
+    attach_stats,
+    compare_bench,
+    compare_bench_files,
+    load_bench,
+    render_comparison,
+    series_stats,
+)
+
+
+def _document(latencies):
+    return attach_stats({
+        "benchmarks": {
+            "fig11a:MEDEA-ILP": {
+                "scheduler": "MEDEA-ILP",
+                "nodes": 100,
+                "apps": 8,
+                "series": {
+                    "solver_latency_s": {
+                        "t": [50.0, 100.0, 200.0, 400.0],
+                        "v": list(latencies),
+                    },
+                },
+            },
+        },
+    })
+
+
+BASE_LATENCIES = [0.2, 0.3, 0.4, 0.5]
+
+
+class TestSeriesStats:
+    def test_median_and_p95(self):
+        stats = series_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["p95"] >= stats["median"]
+
+    def test_zero_observations_returns_none(self):
+        assert series_stats([]) is None
+
+    def test_attach_stats_skips_empty_series(self):
+        document = attach_stats({
+            "benchmarks": {"x": {"series": {"empty": {"t": [], "v": []}}}},
+        })
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["benchmarks"]["x"]["stats"] == {}
+
+
+class TestCompareBench:
+    def test_identical_runs_pass(self):
+        comparison = compare_bench(
+            _document(BASE_LATENCIES), _document(BASE_LATENCIES)
+        )
+        assert comparison.ok
+        assert len(comparison.checks) == 2  # median + p95
+        assert comparison.skipped == []
+
+    def test_small_drift_within_tolerance_passes(self):
+        drifted = [v * 1.2 for v in BASE_LATENCIES]
+        assert compare_bench(_document(BASE_LATENCIES), _document(drifted)).ok
+
+    def test_injected_2x_regression_fails(self):
+        doubled = [v * 2.0 for v in BASE_LATENCIES]
+        comparison = compare_bench(
+            _document(BASE_LATENCIES), _document(doubled)
+        )
+        assert not comparison.ok
+        assert {c.stat for c in comparison.regressions} == {"median", "p95"}
+        for check in comparison.regressions:
+            assert check.current > check.baseline * DEFAULT_RATIO
+            assert check.ratio == pytest.approx(2.0)
+
+    def test_improvement_passes(self):
+        halved = [v * 0.5 for v in BASE_LATENCIES]
+        assert compare_bench(_document(BASE_LATENCIES), _document(halved)).ok
+
+    def test_abs_floor_absorbs_sub_ms_noise(self):
+        # Sub-floor medians: even a 10x blowup stays under the absolute
+        # slack, so machine jitter on trivial solves never trips the gate.
+        tiny = [0.001] * 4
+        noisy = [0.01] * 4
+        assert compare_bench(_document(tiny), _document(noisy)).ok
+        assert not compare_bench(
+            _document(tiny), _document(noisy), abs_floor_s=0.0
+        ).ok
+
+    def test_missing_sides_become_skips_not_failures(self):
+        base = _document(BASE_LATENCIES)
+        current = copy.deepcopy(base)
+        current["benchmarks"]["brand-new"] = current["benchmarks"].pop(
+            "fig11a:MEDEA-ILP"
+        )
+        comparison = compare_bench(base, current)
+        assert comparison.ok
+        assert comparison.checks == []
+        reasons = {(label, reason) for label, _, reason in comparison.skipped}
+        assert ("fig11a:MEDEA-ILP", "missing from current run") in reasons
+        assert ("brand-new", "not in baseline (new benchmark)") in reasons
+
+    def test_to_obj_round_trips_through_json(self):
+        comparison = compare_bench(
+            _document(BASE_LATENCIES),
+            _document([v * 2.0 for v in BASE_LATENCIES]),
+        )
+        obj = json.loads(json.dumps(comparison.to_obj()))
+        assert obj["ok"] is False
+        assert obj["abs_floor_s"] == DEFAULT_ABS_FLOOR_S
+        assert len(obj["checks"]) == 2
+
+    def test_render_names_regressions(self):
+        text = render_comparison(compare_bench(
+            _document(BASE_LATENCIES),
+            _document([v * 2.0 for v in BASE_LATENCIES]),
+        ))
+        assert "REGRESSED" in text
+        assert "verdict: FAIL" in text
+        ok_text = render_comparison(compare_bench(
+            _document(BASE_LATENCIES), _document(BASE_LATENCIES)
+        ))
+        assert "verdict: PASS" in ok_text
+
+
+class TestLoadBench:
+    def _write(self, path, document):
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_schema1_upgraded_on_load(self, tmp_path):
+        document = _document(BASE_LATENCIES)
+        for entry in document["benchmarks"].values():
+            entry.pop("stats")
+        document["schema"] = 1
+        loaded = load_bench(self._write(tmp_path / "v1.json", document))
+        assert loaded["schema"] == SCHEMA_VERSION
+        stats = loaded["benchmarks"]["fig11a:MEDEA-ILP"]["stats"]
+        assert stats["solver_latency_s"]["count"] == 4
+
+    def test_newer_schema_rejected(self, tmp_path):
+        document = _document(BASE_LATENCIES)
+        document["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="newer than supported"):
+            load_bench(self._write(tmp_path / "future.json", document))
+
+    def test_non_bench_document_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_bench(self._write(tmp_path / "junk.json", {"foo": 1}))
+
+    def test_compare_bench_files(self, tmp_path):
+        base = self._write(tmp_path / "base.json", _document(BASE_LATENCIES))
+        cur = self._write(
+            tmp_path / "cur.json",
+            _document([v * 2.0 for v in BASE_LATENCIES]),
+        )
+        assert not compare_bench_files(base, cur).ok
+        assert compare_bench_files(base, base).ok
+
+
+class TestBenchCompareCli:
+    def _files(self, tmp_path, factor):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_document(BASE_LATENCIES)))
+        cur.write_text(json.dumps(
+            _document([v * factor for v in BASE_LATENCIES])
+        ))
+        return str(base), str(cur)
+
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        base, cur = self._files(tmp_path, 1.0)
+        assert cli_main(["bench-compare", base, cur]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        base, cur = self._files(tmp_path, 2.0)
+        assert cli_main(["bench-compare", base, cur]) == 1
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_custom_tolerance_flags(self, tmp_path):
+        base, cur = self._files(tmp_path, 2.0)
+        assert cli_main([
+            "bench-compare", base, cur, "--ratio", "3.0",
+        ]) == 0
+        assert cli_main([
+            "bench-compare", base, cur, "--ratio", "1.1",
+            "--abs-floor", "0.0",
+        ]) == 1
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        base, _ = self._files(tmp_path, 1.0)
+        assert cli_main([
+            "bench-compare", base, str(tmp_path / "missing.json"),
+        ]) == 1
+        assert "bench-compare:" in capsys.readouterr().err
+
+
+class TestHarnessSchema:
+    def test_write_bench_timeline_emits_schema2(self, tmp_path, monkeypatch):
+        from benchmarks import harness
+
+        monkeypatch.setattr(harness, "BENCH_TIMELINES", {
+            "unit": {
+                "scheduler": "Serial",
+                "nodes": 10,
+                "apps": 4,
+                "series": {
+                    "solver_latency_s": {"t": [0.0, 1.0], "v": [0.1, 0.2]},
+                    "empty": {"t": [], "v": []},
+                },
+            },
+        })
+        path = harness.write_bench_timeline(str(tmp_path / "BENCH.json"))
+        document = json.loads(open(path, encoding="utf-8").read())
+        assert document["schema"] == SCHEMA_VERSION
+        stats = document["benchmarks"]["unit"]["stats"]
+        assert stats["solver_latency_s"]["median"] == pytest.approx(0.15)
+        assert "empty" not in stats  # zero observations → no stats entry
+        # The written document is a valid bench-compare input against itself.
+        assert compare_bench_files(path, path).ok
+
+    def test_record_benchmark_dedupes_labels(self, monkeypatch):
+        from benchmarks import harness
+
+        monkeypatch.setattr(harness, "BENCH_TIMELINES", {})
+        series = {"solver_latency_s": {"t": [0.0], "v": [0.1]}}
+        first = harness.record_benchmark(
+            "dup", scheduler="s", nodes=1, apps=1, series=series
+        )
+        second = harness.record_benchmark(
+            "dup", scheduler="s", nodes=1, apps=1, series=series
+        )
+        assert first == "dup"
+        assert second == "dup #2"
+        assert set(harness.BENCH_TIMELINES) == {"dup", "dup #2"}

@@ -1,0 +1,91 @@
+"""Tests for the PR-2/PR-3 deprecation shims.
+
+Two relocation shims keep old import paths alive: ``repro.solver.SolverStats``
+(moved to ``repro.obs``) and the ``repro.metrics.stats`` helpers (moved to
+``repro.obs.stats``).  Each access must emit exactly one
+:class:`DeprecationWarning` naming the new location and forward to the very
+same object, and non-moved attribute names must still raise
+:class:`AttributeError` rather than warn.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+
+def _single_deprecation(record, needle: str):
+    """Assert exactly one DeprecationWarning mentioning ``needle``."""
+    deprecations = [
+        w for w in record if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got {len(deprecations)}: "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    assert needle in str(deprecations[0].message)
+
+
+class TestSolverStatsAlias:
+    def test_access_warns_once_and_forwards(self):
+        import repro.solver as solver_pkg
+        from repro.obs.metrics import SolverStats as canonical
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            aliased = solver_pkg.SolverStats
+        _single_deprecation(record, "repro.obs.SolverStats")
+        assert aliased is canonical
+
+    def test_aliased_class_is_usable(self):
+        import repro.solver as solver_pkg
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            stats = solver_pkg.SolverStats(backend="bnb")
+        assert stats.backend == "bnb"
+
+    def test_unknown_attribute_raises_without_warning(self):
+        import repro.solver as solver_pkg
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError, match="NoSuchThing"):
+                solver_pkg.NoSuchThing
+        assert record == []
+
+
+class TestMetricsStatsShim:
+    @pytest.mark.parametrize("name", [
+        "BoxStats",
+        "EmptyDataError",
+        "percentile",
+        "cdf_points",
+        "coefficient_of_variation",
+    ])
+    def test_each_name_warns_once_and_forwards(self, name):
+        import repro.metrics.stats as old
+        import repro.obs.stats as new
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            forwarded = getattr(old, name)
+        _single_deprecation(record, "repro.obs.stats")
+        assert forwarded is getattr(new, name)
+
+    def test_unknown_attribute_raises_without_warning(self):
+        import repro.metrics.stats as old
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError, match="NoSuchHelper"):
+                old.NoSuchHelper
+        assert record == []
+
+    def test_dir_advertises_moved_names(self):
+        import repro.metrics.stats as old
+
+        listed = dir(old)
+        for name in ("BoxStats", "percentile", "cdf_points"):
+            assert name in listed
