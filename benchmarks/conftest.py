@@ -11,6 +11,11 @@ Independently of tracing, every :func:`benchmarks.harness
 queue depth, queuing delay, solver latency) into
 ``harness.BENCH_TIMELINES``; when any ran, the session dumps them as
 ``BENCH_timeline.json`` (``BENCH_TIMELINE_OUT`` overrides the path).
+
+The live plane rides the same hooks: ``MEDEA_SERVE=port`` starts the
+in-process telemetry endpoint for the session (CI curls ``/metrics`` and
+``/healthz`` mid-run), and ``MEDEA_LOG=file`` writes the structured run
+log, closed at session end.
 """
 
 from __future__ import annotations
@@ -21,18 +26,24 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.log import configure_log_from_env, get_run_logger
 from repro.obs.metrics import get_metrics
+from repro.obs.serve import serve_from_env, shutdown_server
 from repro.obs.trace import ENV_TRACE, ENV_TRACE_OUT, configure_from_env, get_tracer
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _medea_trace_session():
     configure_from_env()
+    configure_log_from_env()
+    serve_from_env()
     yield
     from .harness import BENCH_TIMELINES, write_bench_timeline
 
     if BENCH_TIMELINES:
         write_bench_timeline()
+    shutdown_server()
+    get_run_logger().close()
     tracer = get_tracer()
     if not tracer.enabled:
         return

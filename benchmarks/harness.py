@@ -48,7 +48,7 @@ from repro import (
     build_cluster,
 )
 from repro.core.requests import LRARequest
-from repro.metrics import evaluate_violations
+from repro.obs.violations import evaluate_violations
 from repro.obs import SolverStats
 from repro.workloads import fill_cluster
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro import IlpScheduler, SerialScheduler, build_cluster
 from repro.apps import hbase_instance
-from repro.metrics import BoxStats
+from repro.obs.stats import BoxStats
 from repro.reporting import banner, render_table
 from repro.sim import ClusterSimulation, SimConfig
 from repro.workloads import GoogleTraceConfig, generate_trace

@@ -10,7 +10,7 @@ cluster-wide total).
 from __future__ import annotations
 
 from repro.failures import generate_trace
-from repro.metrics import percentile
+from repro.obs.stats import percentile
 from repro.reporting import banner, render_table
 
 HOURS = 4 * 24

@@ -23,7 +23,7 @@ from repro import (
     build_cluster,
 )
 from repro.apps import hbase_instance, tensorflow_instance
-from repro.metrics import BoxStats
+from repro.obs.stats import BoxStats
 from repro.perf import extract_features, iterative_runtime, serving_runtime
 from repro.reporting import banner, render_table
 from repro.workloads import fill_cluster

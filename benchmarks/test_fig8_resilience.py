@@ -27,7 +27,7 @@ from repro import (
 from repro.apps import max_collocated, worker_containers
 from repro.core.requests import LRARequest
 from repro.failures import generate_trace, max_unavailability_series, su_distribution
-from repro.metrics import percentile
+from repro.obs.stats import percentile
 from repro.reporting import banner, render_table
 
 SERVICE_UNITS = 25

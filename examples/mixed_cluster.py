@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro import IlpScheduler, build_cluster, evaluate_violations
 from repro.apps import hbase_instance, tensorflow_instance
-from repro.metrics import BoxStats
+from repro.obs.stats import BoxStats
 from repro.sim import ClusterSimulation, SimConfig
 from repro.workloads import GridMixConfig, generate_tasks
 

@@ -23,7 +23,7 @@ from repro import (
 )
 from repro.apps import worker_containers
 from repro.failures import generate_trace, max_unavailability_series, su_distribution
-from repro.metrics import percentile
+from repro.obs.stats import percentile
 from repro.tags import app_id_tag
 
 SERVICE_UNITS = 10

@@ -58,7 +58,6 @@ from .core import (
     next_app_id,
     parse_constraint,
 )
-from .metrics import BoxStats, evaluate_violations
 from .obs import (
     DecisionAudit,
     JsonlSink,
@@ -68,9 +67,12 @@ from .obs import (
     TraceEvent,
     Tracer,
 )
+from .obs.stats import BoxStats
+from .obs.violations import evaluate_violations
 from .taskscheduler import CapacityScheduler, FairScheduler, FifoScheduler
+from .version import get_version
 
-__version__ = "1.0.0"
+__version__ = get_version()
 
 __all__ = [
     "__version__",

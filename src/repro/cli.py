@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Eight commands, each a thin wrapper over the library:
+Nine commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -18,10 +18,18 @@ Eight commands, each a thin wrapper over the library:
   trace, with collapsed-stack export for flamegraph.pl / speedscope.
 * ``bench-compare`` — gate a ``BENCH_*.json`` run against a committed
   baseline (median/p95 with noise tolerance); exits non-zero on regression.
+* ``watch`` — poll a live telemetry endpoint's ``/snapshot`` into a
+  refreshing terminal view.
 
 Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``)
 or pass ``--trace-out FILE`` to ``compare``/``simulate`` to record the
 structured event stream; a metrics summary is printed after the run.
+
+Live plane: ``--serve PORT`` (or ``MEDEA_SERVE=port``) starts the in-process
+telemetry endpoint (``/metrics``, ``/healthz``, ``/snapshot``) for the
+duration of the run; ``--watchdog {warn,abort}`` (or ``MEDEA_WATCHDOG``)
+turns on the online invariant monitors; ``--log FILE`` (or ``MEDEA_LOG``)
+writes the structured JSON-lines run log.
 """
 
 from __future__ import annotations
@@ -33,10 +41,29 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _add_live_plane_args(p: argparse.ArgumentParser) -> None:
+    """Flags shared by the run commands (``compare`` / ``simulate``)."""
+    p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /snapshot on this port for the "
+             "duration of the run (0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--log", metavar="FILE", default=None,
+        help="write the structured JSON-lines run log to this file "
+             "('-' for stderr)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .version import get_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Medea (EuroSys 2018) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {get_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -54,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="record the structured event trace to this JSONL file",
     )
+    _add_live_plane_args(p_compare)
 
     p_sim = sub.add_parser("simulate", help="run a mixed-workload simulation")
     p_sim.add_argument("--nodes", type=int, default=40)
@@ -64,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="record the structured event trace to this JSONL file",
     )
+    p_sim.add_argument(
+        "--watchdog", choices=("warn", "abort"), default=None,
+        help="run online invariant checks every heartbeat; 'abort' exits "
+             "non-zero on the first trip",
+    )
+    _add_live_plane_args(p_sim)
 
     p_trace = sub.add_parser(
         "trace-report", help="summarise a MEDEA_TRACE JSONL trace file"
@@ -132,6 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--abs-floor", type=float, default=None, metavar="SECONDS",
         help="absolute slack added to every limit (default 0.02s)",
+    )
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="poll a live telemetry endpoint into a refreshing terminal view",
+    )
+    p_watch.add_argument(
+        "target",
+        help="port, host:port, or URL of a --serve / MEDEA_SERVE endpoint",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    p_watch.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop after N frames (default: poll until interrupted)",
+    )
+    p_watch.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen between polls",
     )
     return parser
 
@@ -228,20 +283,26 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
     return 0
 
 
-def _cmd_simulate(nodes: int, horizon: float, lras: int, tasks: int) -> int:
+def _cmd_simulate(
+    nodes: int, horizon: float, lras: int, tasks: int,
+    watchdog_mode: str | None = None,
+) -> int:
     from . import IlpScheduler, build_cluster, evaluate_violations
     from .apps import hbase_instance, tensorflow_instance
-    from .metrics import BoxStats
+    from .obs.stats import BoxStats
+    from .obs.watchdog import Watchdog, WatchdogError
     from .sim import ClusterSimulation, SimConfig
     from .workloads import GridMixConfig, generate_tasks
 
     topology = build_cluster(nodes, racks=max(2, nodes // 10),
                              memory_mb=16 * 1024, vcores=8)
+    watchdog = Watchdog(mode=watchdog_mode) if watchdog_mode else None
     sim = ClusterSimulation(
         topology,
         IlpScheduler(max_candidate_nodes=min(nodes, 60), time_limit_s=5.0,
                      mip_rel_gap=0.02),
         config=SimConfig(scheduling_interval_s=10.0, horizon_s=horizon),
+        watchdog=watchdog,
     )
     for i in range(lras):
         template = hbase_instance if i % 2 == 0 else tensorflow_instance
@@ -249,7 +310,16 @@ def _cmd_simulate(nodes: int, horizon: float, lras: int, tasks: int) -> int:
     for arrival, task in generate_tasks(GridMixConfig(seed=5), count=tasks):
         if arrival < horizon:
             sim.submit_task(task, at=arrival)
-    sim.run(horizon)
+    try:
+        sim.run(horizon)
+    except WatchdogError as exc:
+        trip = exc.trip
+        print(
+            f"simulate: watchdog tripped at t={trip.time}: "
+            f"{trip.check}: {trip.summary()}",
+            file=sys.stderr,
+        )
+        return 1
 
     report = evaluate_violations(sim.state, manager=sim.medea.manager)
     print(f"LRAs placed:        {len(sim.lra_latencies())}/{lras}")
@@ -385,6 +455,33 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time as _time
+    from urllib.error import URLError
+
+    from .obs.serve import fetch_snapshot, render_watch
+
+    frames = 0
+    try:
+        while args.count is None or frames < args.count:
+            if frames:
+                _time.sleep(args.interval)
+            try:
+                snapshot = fetch_snapshot(args.target)
+            except (URLError, OSError, ValueError) as exc:
+                print(f"watch: cannot reach {args.target}: {exc}",
+                      file=sys.stderr)
+                return 1
+            if not args.no_clear:
+                # Clear screen + home cursor so the frame refreshes in place.
+                print("\x1b[2J\x1b[H", end="")
+            print(render_watch(snapshot))
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _configure_tracing(args: argparse.Namespace) -> bool:
     """Honour MEDEA_TRACE / MEDEA_TRACE_OUT and the --trace-out flag.
     Returns True when an enabled tracer is installed for this invocation."""
@@ -395,6 +492,35 @@ def _configure_tracing(args: argparse.Namespace) -> bool:
     if trace_out:
         configure(jsonl_path=trace_out)
     return get_tracer().enabled
+
+
+def _configure_live_plane(args: argparse.Namespace):
+    """Honour --log / MEDEA_LOG and --serve / MEDEA_SERVE for a run command.
+    Returns the telemetry server (or ``None``)."""
+    from .obs.log import configure_log, configure_log_from_env
+    from .obs.serve import install as install_server, serve_from_env
+
+    log_target = getattr(args, "log", None)
+    if log_target:
+        configure_log(log_target)
+    else:
+        configure_log_from_env()
+    port = getattr(args, "serve", None)
+    if port is not None:
+        server = install_server(port)
+    else:
+        server = serve_from_env()
+    if server is not None:
+        print(f"telemetry endpoint: {server.url}", file=sys.stderr)
+    return server
+
+
+def _finish_live_plane() -> None:
+    from .obs.log import get_run_logger
+    from .obs.serve import shutdown_server
+
+    shutdown_server()
+    get_run_logger().close()
 
 
 def _finish_tracing() -> None:
@@ -425,14 +551,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench-compare":
         return _cmd_bench_compare(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     tracing = _configure_tracing(args)
-    if args.command == "compare":
-        status = _cmd_compare(args.nodes, args.racks, args.instances,
-                              args.max_rs_per_node)
-    elif args.command == "simulate":
-        status = _cmd_simulate(args.nodes, args.horizon, args.lras, args.tasks)
-    else:  # pragma: no cover
-        raise AssertionError(f"unhandled command {args.command}")
+    _configure_live_plane(args)
+    try:
+        if args.command == "compare":
+            status = _cmd_compare(args.nodes, args.racks, args.instances,
+                                  args.max_rs_per_node)
+        elif args.command == "simulate":
+            status = _cmd_simulate(args.nodes, args.horizon, args.lras,
+                                   args.tasks, args.watchdog)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled command {args.command}")
+    finally:
+        _finish_live_plane()
     if tracing:
         _finish_tracing()
     return status

@@ -95,6 +95,13 @@ class Node:
     def allocations(self) -> dict[str, Allocation]:
         return dict(self._allocations)
 
+    def iter_allocations(self) -> Iterable[Allocation]:
+        """Live read-only view over the allocations (no copy) — the online
+        watchdog re-derives conservation invariants from this every
+        heartbeat, so the defensive copy of :attr:`allocations` would be
+        pure overhead."""
+        return self._allocations.values()
+
     def container_count(self) -> int:
         return len(self._allocations)
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 from ..cluster.state import ClusterState
 from ..obs.events import EventKind
+from ..obs.log import get_run_logger
 from ..obs.metrics import Metrics, get_metrics
 from ..obs.spans import span
 from ..obs.trace import Tracer, get_tracer
@@ -253,6 +254,12 @@ class MedeaScheduler:
                         time=now,
                         data={"app_id": app_id, "attempt": outcome.attempts},
                     )
+                log = get_run_logger()
+                if log.enabled:
+                    log.warning(
+                        "medea", "lra placement conflict", tick=now,
+                        app=app_id, attempt=outcome.attempts,
+                    )
                 self._resubmit(requests_by_id[app_id], outcome, now)
             else:
                 outcome.placed_time = now
@@ -288,9 +295,8 @@ class MedeaScheduler:
             self._resubmit(requests_by_id[app_id], outcome, now)
         if tracer.enabled:
             # Audit the live state against the active constraints so every
-            # cycle's trace carries the paper's Fig. 9 signal.  Imported
-            # lazily: repro.metrics.violations depends on repro.core.
-            from ..metrics.violations import evaluate_violations
+            # cycle's trace carries the paper's Fig. 9 signal.
+            from ..obs.violations import evaluate_violations
 
             violation_report = evaluate_violations(
                 self.state, manager=self.manager, metrics=metrics
@@ -323,6 +329,12 @@ class MedeaScheduler:
                     EventKind.LRA_DROP,
                     time=now,
                     data={"app_id": request.app_id, "attempts": outcome.attempts},
+                )
+            log = get_run_logger()
+            if log.enabled:
+                log.warning(
+                    "medea", "lra dropped after max attempts", tick=now,
+                    app=request.app_id, attempts=outcome.attempts,
                 )
             return
         self._pending.append(request)

@@ -1,25 +1,46 @@
-"""Evaluation metrics: violations, fragmentation, load balance, latency stats."""
+"""Deprecated package: everything here moved into ``repro.obs``.
+
+The statistics helpers live in :mod:`repro.obs.stats` and the violation
+auditor in :mod:`repro.obs.violations` since the metrics worlds were
+unified.  This package is a pure re-export shim with no logic of its own:
+each attribute access emits one :class:`DeprecationWarning` naming the new
+home and forwards to the very same object.  Import from ``repro`` (the
+root re-exports ``BoxStats`` / ``evaluate_violations``) or from
+``repro.obs`` instead.
+"""
 
 from __future__ import annotations
 
-# The statistics helpers live in repro.obs.stats since the metrics worlds
-# were unified; this package re-exports them (repro.metrics.stats is the
-# warning deprecation shim for the old submodule path).
-from ..obs.stats import (
-    BoxStats,
-    EmptyDataError,
-    cdf_points,
-    coefficient_of_variation,
-    percentile,
-)
-from .violations import ViolationReport, evaluate_violations
+import importlib
+import warnings
 
-__all__ = [
-    "BoxStats",
-    "EmptyDataError",
-    "cdf_points",
-    "coefficient_of_variation",
-    "percentile",
-    "ViolationReport",
-    "evaluate_violations",
-]
+#: old name -> new module path (all under repro.obs).
+_MOVED = {
+    "BoxStats": "repro.obs.stats",
+    "EmptyDataError": "repro.obs.stats",
+    "percentile": "repro.obs.stats",
+    "cdf_points": "repro.obs.stats",
+    "coefficient_of_variation": "repro.obs.stats",
+    "ViolationRecord": "repro.obs.violations",
+    "ViolationReport": "repro.obs.violations",
+    "evaluate_violations": "repro.obs.violations",
+}
+
+__all__ = sorted(_MOVED)
+
+
+def __getattr__(name: str):
+    new_home = _MOVED.get(name)
+    if new_home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.metrics.{name} has moved to {new_home}; "
+        f"import it from repro or {new_home}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(new_home), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_MOVED))

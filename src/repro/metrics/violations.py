@@ -1,136 +1,34 @@
-"""Ground-truth constraint-violation accounting.
+"""Deprecated location: the violation auditor moved to
+``repro.obs.violations``.
 
-The paper's Fig. 9 reports "the percentage of containers that violate
-constraints".  This module walks the *actual* cluster state (not scheduler
-bookkeeping) and, for every placed LRA container and every active constraint
-that applies to it, evaluates the constraint semantics exactly — the same
-brute-force check tests use to validate the ILP encoding.
+This shim keeps ``from repro.metrics.violations import evaluate_violations``
+working (with a :class:`DeprecationWarning`); import from ``repro`` or
+:mod:`repro.obs.violations` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Sequence
+import warnings
 
-from ..cluster.state import ClusterState
-from ..core.constraint_manager import ConstraintManager
-from ..core.constraints import CompoundConstraint, PlacementConstraint
-from ..obs.metrics import Metrics, get_metrics
+_MOVED = ("ViolationRecord", "ViolationReport", "evaluate_violations")
 
-__all__ = ["ViolationReport", "evaluate_violations"]
+__all__ = list(_MOVED)
 
 
-@dataclass
-class ViolationRecord:
-    container_id: str
-    constraint: PlacementConstraint
-    extent: float
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.metrics.violations.{name} has moved to "
+            "repro.obs.violations; import it from repro or "
+            "repro.obs.violations",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..obs import violations as _violations
+
+        return getattr(_violations, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass
-class ViolationReport:
-    """Cluster-wide violation summary."""
-
-    #: Number of LRA containers subject to >= 1 constraint.
-    subject_containers: int = 0
-    #: Containers with at least one violated constraint.
-    violating_containers: int = 0
-    #: Total violation extent (Eq. 8 units) across all records.
-    total_extent: float = 0.0
-    records: list[ViolationRecord] = field(default_factory=list)
-
-    @property
-    def violation_fraction(self) -> float:
-        """Fraction of constrained containers in violation (Fig. 9 y-axis)."""
-        if self.subject_containers == 0:
-            return 0.0
-        return self.violating_containers / self.subject_containers
-
-    def record_to(self, metrics: Metrics, **labels: Any) -> None:
-        """Fold this audit into a :class:`~repro.obs.metrics.Metrics`
-        registry: an evaluation counter plus ``violations_containers``
-        (labelled ``status=subject|violating``) and
-        ``violations_total_extent`` gauges."""
-        metrics.counter("violations_evaluations_total").inc(**labels)
-        containers = metrics.gauge("violations_containers")
-        containers.set(self.subject_containers, status="subject", **labels)
-        containers.set(self.violating_containers, status="violating", **labels)
-        metrics.gauge("violations_total_extent").set(self.total_extent, **labels)
-
-
-def evaluate_violations(
-    state: ClusterState,
-    constraints: Sequence[PlacementConstraint] | None = None,
-    manager: ConstraintManager | None = None,
-    compound: Sequence[CompoundConstraint] = (),
-    *,
-    metrics: Metrics | None = None,
-) -> ViolationReport:
-    """Audit the current placements against the active constraints.
-
-    Pass either an explicit constraint list or a :class:`ConstraintManager`.
-    Compound (DNF) constraints count as violated only if *every* conjunct is
-    violated for the subject.
-
-    The resulting report is also recorded into ``metrics`` (the ambient
-    registry by default) — see :meth:`ViolationReport.record_to` — so
-    violation accounting shares the one telemetry channel instead of living
-    as a side system.
-    """
-    if constraints is None:
-        if manager is None:
-            raise ValueError("need constraints or a constraint manager")
-        constraints = manager.active_constraints()
-        compound = tuple(manager.active_compound_constraints()) or compound
-
-    report = ViolationReport()
-    for placed in state.containers.values():
-        if not placed.allocation.long_running:
-            continue
-        tags = placed.allocation.tags
-        applicable = [c for c in constraints if c.applies_to(tags)]
-        applicable_compound = [
-            comp
-            for comp in compound
-            if any(c.applies_to(tags) for c in comp.all_constraints())
-        ]
-        if not applicable and not applicable_compound:
-            continue
-        report.subject_containers += 1
-        violated = False
-        for constraint in applicable:
-            ok, extent = state.check_placement(
-                constraint, placed.node_id, tags, placed=True
-            )
-            if not ok:
-                violated = True
-                report.total_extent += extent
-                report.records.append(
-                    ViolationRecord(placed.container_id, constraint, extent)
-                )
-        for comp in applicable_compound:
-            best_extent = None
-            for conjunct in comp.conjuncts:
-                conj_extent = 0.0
-                conj_ok = True
-                for constraint in conjunct:
-                    if not constraint.applies_to(tags):
-                        continue
-                    ok, extent = state.check_placement(
-                        constraint, placed.node_id, tags, placed=True
-                    )
-                    if not ok:
-                        conj_ok = False
-                        conj_extent += extent
-                if conj_ok:
-                    best_extent = 0.0
-                    break
-                if best_extent is None or conj_extent < best_extent:
-                    best_extent = conj_extent
-            if best_extent:
-                violated = True
-                report.total_extent += best_extent
-        if violated:
-            report.violating_containers += 1
-    report.record_to(metrics if metrics is not None else get_metrics())
-    return report
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_MOVED))

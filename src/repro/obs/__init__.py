@@ -28,6 +28,24 @@ Built on top of those (ISSUE 3 / the paper's §7 evaluation signals):
   event stream and cross-checks every recorded ``sim.state_hash``,
   reporting the first divergent tick.
 
+The **live plane** (ISSUE 5) — the same signals while the run is still
+in flight, zero-cost when disabled like everything else:
+
+* **Telemetry endpoint** — :class:`TelemetryServer` (``repro.obs.serve``)
+  serves ``/metrics`` (Prometheus text exposition of the live
+  :class:`Metrics` registry), ``/healthz`` (503 once run progress stalls
+  past a wall-clock deadline) and ``/snapshot`` (the dashboard JSON from a
+  live :class:`TimelineAggregator` sink); ``MEDEA_SERVE=port`` /
+  ``--serve``, polled by ``repro watch``.
+* **Watchdog** — :class:`Watchdog` (``repro.obs.watchdog``) re-derives
+  conservation invariants (node resources, container counts, placement
+  fingerprints, violation-audit consistency) on every engine heartbeat and
+  emits typed ``watchdog.trip`` events — replay's corruption detection
+  moved to the moment of corruption; ``abort`` mode exits non-zero.
+* **Run log** — :class:`RunLogger` (``repro.obs.log``) is the structured
+  JSON-lines narrative (run id, tick, component, span path) engine / sim /
+  medea / solver write instead of ad-hoc prints; ``MEDEA_LOG=file``.
+
 And the profiling layer (ISSUE 4 / the paper's §7.3–§7.5 latency
 attribution):
 
@@ -53,6 +71,13 @@ Ambient configuration::
 from __future__ import annotations
 
 from . import report, stats
+from .log import (
+    RunLogger,
+    configure_log,
+    configure_log_from_env,
+    get_run_logger,
+    set_run_logger,
+)
 from .audit import (
     PRUNE_CANDIDATE_POOL,
     PRUNE_CAPACITY,
@@ -90,6 +115,15 @@ from .profile import (
 )
 from .replay import ReplayDivergence, ReplayReport, replay_events, replay_jsonl
 from .report import TraceFileError, build_dashboard, read_trace
+from .serve import (
+    HealthState,
+    TelemetryServer,
+    get_server,
+    install as install_server,
+    render_prometheus,
+    serve_from_env,
+    shutdown_server,
+)
 from .slo import (
     SLOBreach,
     SLOMonitor,
@@ -101,6 +135,8 @@ from .slo import (
 )
 from .spans import Span, current_span_path, span, span_phase
 from .timeline import TimelineAggregator, TimeSeries
+from .violations import ViolationRecord, ViolationReport, evaluate_violations
+from .watchdog import Watchdog, WatchdogError, WatchdogTrip, watchdog_from_env
 from .trace import (
     JsonlSink,
     MemorySink,
@@ -181,6 +217,29 @@ __all__ = [
     "TraceFileError",
     "read_trace",
     "build_dashboard",
+    # violations audit
+    "ViolationRecord",
+    "ViolationReport",
+    "evaluate_violations",
+    # live telemetry endpoint
+    "TelemetryServer",
+    "HealthState",
+    "render_prometheus",
+    "install_server",
+    "serve_from_env",
+    "get_server",
+    "shutdown_server",
+    # online watchdog
+    "Watchdog",
+    "WatchdogError",
+    "WatchdogTrip",
+    "watchdog_from_env",
+    # structured run log
+    "RunLogger",
+    "get_run_logger",
+    "set_run_logger",
+    "configure_log",
+    "configure_log_from_env",
     # renderers + moved stats helpers
     "report",
     "stats",

@@ -70,6 +70,12 @@ class EventKind:
     # -- SLO monitor ---------------------------------------------------------
     SLO_BREACH = "slo.breach"
 
+    # -- online invariant watchdog (repro.obs.watchdog) ----------------------
+    #: An invariant monitor detected state corruption: ``data`` carries the
+    #: check name and a deterministic structured diagnosis (nodes,
+    #: containers, expected/actual values) at the corrupting tick.
+    WATCHDOG_TRIP = "watchdog.trip"
+
     # -- hierarchical spans (repro.obs.spans) --------------------------------
     #: One closed span: ``data`` carries the deterministic identity (name,
     #: ``;``-joined ancestor path, depth, sample count), ``wall`` the

@@ -1,0 +1,262 @@
+"""Structured JSON-lines run logging for the live plane.
+
+Where the tracer records *what the system did* (deterministic, replayable
+events), the run logger records *what the operator should read*: one JSON
+object per line carrying the run id, the simulated tick, the emitting
+component, and — when the emitter sits inside a profiling span — the
+current span path.  Engine, simulation, Medea facade and solver log
+through it instead of ad-hoc prints, so a long run leaves a single
+greppable, machine-parseable narrative (CI uploads it as an artifact).
+
+Zero-cost when disabled, like the rest of ``repro.obs``: the ambient
+default is a shared disabled logger and call sites guard with
+``if log.enabled:`` so no record dict is ever built on the fast path.
+
+Two output formats:
+
+* ``json`` — one compact sorted-key JSON object per line (the artifact
+  form; ``repro.obs.report.read_trace``-style tooling can consume it).
+* ``console`` — a human-readable single-line rendering for watching a
+  run from a terminal (``12.0s INFO  sim: node flip node=node-3 up=False``).
+
+Ambient configuration mirrors the tracer: :func:`get_run_logger` /
+:func:`set_run_logger` / :func:`configure_log` /
+:func:`configure_log_from_env` (``MEDEA_LOG=<path|->``,
+``MEDEA_LOG_FORMAT=json|console``, ``MEDEA_LOG_LEVEL=debug|info|...``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import time
+import uuid
+from typing import Any, Mapping, TextIO
+
+__all__ = [
+    "LEVELS",
+    "RunLogger",
+    "get_run_logger",
+    "set_run_logger",
+    "configure_log",
+    "configure_log_from_env",
+    "render_console_line",
+]
+
+#: Environment variables read by :func:`configure_log_from_env`.
+ENV_LOG = "MEDEA_LOG"
+ENV_LOG_FORMAT = "MEDEA_LOG_FORMAT"
+ENV_LOG_LEVEL = "MEDEA_LOG_LEVEL"
+
+#: Severity order; a logger drops records below its threshold.
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_INDEX = {name: index for index, name in enumerate(LEVELS)}
+
+_FORMATS = ("json", "console")
+
+
+def _new_run_id() -> str:
+    """Short unique id stamped on every record of one process's run."""
+    return uuid.uuid4().hex[:12]
+
+
+def render_console_line(record: Mapping[str, Any]) -> str:
+    """Human-readable one-line form of a structured log record."""
+    tick = record.get("tick")
+    tick_part = f"{tick:>8.1f}s" if isinstance(tick, (int, float)) else " " * 9
+    level = str(record.get("level", "info")).upper()
+    component = record.get("component", "?")
+    message = record.get("msg", "")
+    extras = [
+        f"{key}={record[key]}"
+        for key in sorted(record)
+        if key not in ("ts", "run_id", "level", "component", "tick", "msg", "span")
+    ]
+    span = record.get("span")
+    if span:
+        extras.append(f"span={span}")
+    suffix = (" " + " ".join(extras)) if extras else ""
+    return f"{tick_part} {level:<7} {component}: {message}{suffix}"
+
+
+class RunLogger:
+    """Structured logger with a JSONL (or console) text sink.
+
+    ``enabled`` is a plain attribute so the hot-path guard is one attribute
+    read; calling :meth:`log` while disabled is still a safe no-op.
+    """
+
+    def __init__(
+        self,
+        target: str | os.PathLike | TextIO | None = None,
+        *,
+        fmt: str = "json",
+        level: str = "info",
+        run_id: str | None = None,
+        enabled: bool = True,
+        clock=time.time,
+    ) -> None:
+        if fmt not in _FORMATS:
+            raise ValueError(f"unknown log format {fmt!r}; expected one of {_FORMATS}")
+        if level not in _LEVEL_INDEX:
+            raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
+        if isinstance(target, (str, os.PathLike)):
+            self._file: TextIO | None = open(target, "w", encoding="utf-8")
+            self._owned = True
+            self.path: str | None = os.fspath(target)
+        else:
+            self._file = target
+            self._owned = False
+            self.path = getattr(target, "name", None)
+        self.fmt = fmt
+        self.level = level
+        self.run_id = run_id if run_id is not None else _new_run_id()
+        self.enabled = enabled and self._file is not None
+        self.records = 0
+        self._clock = clock
+        self._threshold = _LEVEL_INDEX[level]
+        self._closed = False
+
+    # -- emission -----------------------------------------------------------
+
+    def log(
+        self,
+        component: str,
+        message: str,
+        *,
+        level: str = "info",
+        tick: float | None = None,
+        **fields: Any,
+    ) -> dict[str, Any] | None:
+        """Emit one structured record; returns it (``None`` when dropped).
+
+        ``fields`` carry arbitrary JSON-serialisable context; the span path
+        of the ambient tracer (if the caller sits inside a
+        :func:`repro.obs.spans.span`) is attached automatically.
+        """
+        if not self.enabled or self._closed:
+            return None
+        if _LEVEL_INDEX.get(level, 1) < self._threshold:
+            return None
+        record: dict[str, Any] = {
+            "ts": round(self._clock(), 3),
+            "run_id": self.run_id,
+            "level": level,
+            "component": component,
+            "msg": message,
+        }
+        if tick is not None:
+            record["tick"] = tick
+        span_path = _ambient_span_path()
+        if span_path:
+            record["span"] = span_path
+        for key, value in fields.items():
+            record[key] = value
+        self.records += 1
+        if self.fmt == "json":
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                              default=str)
+        else:
+            line = render_console_line(record)
+        try:
+            self._file.write(line + "\n")
+        except ValueError:  # sink closed underneath us (test teardown)
+            self.enabled = False
+            return None
+        return record
+
+    def debug(self, component: str, message: str, **kw: Any):
+        return self.log(component, message, level="debug", **kw)
+
+    def info(self, component: str, message: str, **kw: Any):
+        return self.log(component, message, level="info", **kw)
+
+    def warning(self, component: str, message: str, **kw: Any):
+        return self.log(component, message, level="warning", **kw)
+
+    def error(self, component: str, message: str, **kw: Any):
+        return self.log(component, message, level="error", **kw)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.enabled = False
+        if self._file is None:
+            return
+        try:
+            self._file.flush()
+        except (ValueError, io.UnsupportedOperation):
+            pass
+        if self._owned:
+            self._file.close()
+
+
+def _ambient_span_path() -> str | None:
+    """Span path of the ambient tracer (``None`` outside any span)."""
+    # Imported lazily: spans → trace → (nothing); avoids a cycle when the
+    # spans module itself wants to log.
+    from .spans import current_span_path
+
+    try:
+        return current_span_path()
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+#: Shared disabled logger: the ambient default until configured.
+_NULL_LOGGER = RunLogger(None, enabled=False, run_id="disabled")
+_default_logger: RunLogger = _NULL_LOGGER
+
+
+def get_run_logger() -> RunLogger:
+    """The process-wide default run logger (disabled unless configured)."""
+    return _default_logger
+
+
+def set_run_logger(logger: RunLogger | None) -> RunLogger:
+    """Install ``logger`` as the default (``None`` restores the disabled
+    null logger); returns the previous default so callers can restore it."""
+    global _default_logger
+    previous = _default_logger
+    _default_logger = logger if logger is not None else _NULL_LOGGER
+    return previous
+
+
+def configure_log(
+    target: str | os.PathLike | TextIO,
+    *,
+    fmt: str = "json",
+    level: str = "info",
+    run_id: str | None = None,
+) -> RunLogger:
+    """Build a run logger on ``target`` and install it as the default."""
+    logger = RunLogger(target, fmt=fmt, level=level, run_id=run_id)
+    set_run_logger(logger)
+    return logger
+
+
+def configure_log_from_env(environ: Mapping[str, str] | None = None) -> RunLogger | None:
+    """Enable run logging when ``MEDEA_LOG`` is set.
+
+    ``MEDEA_LOG`` names the output file (``-`` or ``stderr`` log to
+    stderr); ``MEDEA_LOG_FORMAT`` picks ``json`` (default) or ``console``;
+    ``MEDEA_LOG_LEVEL`` sets the threshold.  Idempotent: does nothing if an
+    enabled logger is already installed.  Returns the installed logger, or
+    ``None`` when logging is not requested.
+    """
+    env = os.environ if environ is None else environ
+    target = env.get(ENV_LOG, "").strip()
+    if not target:
+        return None
+    if _default_logger.enabled:
+        return _default_logger
+    fmt = env.get(ENV_LOG_FORMAT, "json").strip().lower() or "json"
+    level = env.get(ENV_LOG_LEVEL, "info").strip().lower() or "info"
+    if target in ("-", "stderr"):
+        return configure_log(sys.stderr, fmt=fmt, level=level)
+    return configure_log(target, fmt=fmt, level=level)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import html as _html
 import json
+import os
 from collections import Counter as _Counter
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
@@ -75,12 +76,25 @@ def read_trace(path: str, *, allow_partial_tail: bool = True) -> TraceFile:
     * corrupt JSON on the *last* non-empty line → tolerated as a partial
       write from a crashed run (``truncated=True``), unless
       ``allow_partial_tail=False``
+    * common mix-ups get a specific diagnosis: a directory, a
+      ``BENCH_*.json`` benchmark results document (use ``bench-compare``),
+      or JSON lines that are not trace events
     """
+    if os.path.isdir(path):
+        raise TraceFileError(
+            f"{path} is a directory, not a JSONL trace file — pass the "
+            f".jsonl file written by MEDEA_TRACE_OUT / --trace-out"
+        )
     try:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
     except OSError as exc:
         raise TraceFileError(f"cannot read trace file {path}: {exc}") from exc
+    if _looks_like_bench_document(text):
+        raise TraceFileError(
+            f"{path} is a BENCH_*.json benchmark results file, not a JSONL "
+            f"trace — use 'repro bench-compare' for benchmark documents"
+        )
     lines = [
         (number, line.strip())
         for number, line in enumerate(text.splitlines(), start=1)
@@ -89,7 +103,7 @@ def read_trace(path: str, *, allow_partial_tail: bool = True) -> TraceFile:
     trace = TraceFile(path=path)
     for position, (number, line) in enumerate(lines):
         try:
-            trace.events.append(json.loads(line))
+            event = json.loads(line)
         except json.JSONDecodeError as exc:
             if allow_partial_tail and position == len(lines) - 1:
                 trace.truncated = True
@@ -97,9 +111,34 @@ def read_trace(path: str, *, allow_partial_tail: bool = True) -> TraceFile:
             raise TraceFileError(
                 f"{path}: corrupt JSON on line {number}: {exc.msg}"
             ) from exc
+        if not isinstance(event, dict) or "kind" not in event:
+            raise TraceFileError(
+                f"{path}: line {number} is valid JSON but not a trace event "
+                f"(no 'kind' field) — this is not a MEDEA_TRACE event stream"
+            )
+        trace.events.append(event)
     if not trace.events:
         raise TraceFileError(f"{path}: trace contains no events")
     return trace
+
+
+def _looks_like_bench_document(text: str) -> bool:
+    """True for whole-file JSON benchmark results (schema-2 ``BENCH_*.json``):
+    a single dict spanning multiple lines with benchmark result keys."""
+    stripped = text.lstrip()
+    if not stripped.startswith("{"):
+        return False
+    # A one-line dict could be a single-event trace; only whole-file
+    # documents (pretty-printed, so not valid JSONL) are candidates.
+    if len(stripped.splitlines()) < 2:
+        return False
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return False
+    return isinstance(doc, dict) and (
+        "benchmarks" in doc or "schema" in doc
+    )
 
 
 def read_jsonl(path: str) -> list[dict[str, Any]]:

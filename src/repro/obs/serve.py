@@ -1,0 +1,512 @@
+"""Live telemetry endpoint: ``/metrics``, ``/healthz``, ``/snapshot``.
+
+Everything else in ``repro.obs`` is post-hoc — traces, dashboards, SLO
+verdicts you read after the run.  This module is the *live* half: a
+stdlib-only HTTP server (``http.server`` on a daemon thread) an operator
+or a Prometheus scraper can hit while a long run is in flight.
+
+* ``/metrics`` — the ambient :class:`~repro.obs.metrics.Metrics` registry
+  rendered as Prometheus text exposition (version 0.0.4): counters,
+  gauges, and timers (as summaries with ``quantile`` labels), labels
+  preserved and escaped.
+* ``/healthz`` — liveness tied to run progress: the server is fed a
+  heartbeat for every trace event that flows (and records the latest
+  simulated tick); when no progress arrives for longer than
+  ``deadline_s`` of *wall* time the endpoint flips from 200 to 503, so a
+  stalled solver or a hung loop is visible to any HTTP prober.
+* ``/snapshot`` — the dashboard's JSON summary computed from a **live**
+  :class:`~repro.obs.timeline.TimelineAggregator` sink, volatile fields
+  under ``"wall"`` as usual, plus build identity and health.
+
+Wiring: :func:`install` registers the server's sink on the ambient tracer
+(enabling a sink-only tracer when none is configured) so the simulation's
+existing event stream feeds the timeline and the health heartbeat — no
+engine changes, no new event kinds.  Enabled via ``MEDEA_SERVE=<port>``
+(:func:`serve_from_env`) or the CLI's ``--serve PORT``; zero-cost when
+unset (nothing is started, no sink is registered, the traced event stream
+is byte-identical).
+
+``repro watch`` (:func:`fetch_snapshot` / :func:`render_watch`) polls
+``/snapshot`` into a refreshing terminal view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.request import Request, urlopen
+
+from ..version import build_info, server_banner, user_agent
+from .events import TraceEvent
+from .log import get_run_logger
+from .metrics import Metrics, get_metrics
+from .timeline import DEFAULT_MAX_POINTS, DEFAULT_TICK_S, TimelineAggregator
+from .trace import Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "HealthState",
+    "TelemetryServer",
+    "render_prometheus",
+    "install",
+    "serve_from_env",
+    "get_server",
+    "shutdown_server",
+    "fetch_snapshot",
+    "render_watch",
+]
+
+#: Environment variable read by :func:`serve_from_env` (the port number;
+#: ``0`` binds an ephemeral port).
+ENV_SERVE = "MEDEA_SERVE"
+
+#: Default wall-clock stall deadline before ``/healthz`` turns 503.
+DEFAULT_DEADLINE_S = 30.0
+
+
+class HealthState:
+    """Liveness derived from run progress.
+
+    :meth:`beat` is called for every observed trace event (recording the
+    wall time, and the simulated tick when the event carries one);
+    :meth:`status` reports ``ok`` while the last beat is younger than the
+    deadline.  Before any beat the server is ``waiting`` (still 200 —
+    a run that has not started is not a stalled run).
+    """
+
+    def __init__(self, deadline_s: float = DEFAULT_DEADLINE_S, *, clock=time.monotonic) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.deadline_s = float(deadline_s)
+        self._clock = clock
+        self._last_beat: float | None = None
+        self.last_tick: float | None = None
+        self.beats = 0
+
+    def beat(self, tick: float | None = None) -> None:
+        self._last_beat = self._clock()
+        if tick is not None:
+            self.last_tick = tick
+        self.beats += 1
+
+    def age_s(self) -> float | None:
+        """Wall seconds since the last beat (``None`` before the first)."""
+        if self._last_beat is None:
+            return None
+        return self._clock() - self._last_beat
+
+    def status(self) -> tuple[bool, dict[str, Any]]:
+        """``(alive, payload)`` — ``alive=False`` means serve 503."""
+        age = self.age_s()
+        if age is None:
+            return True, {
+                "status": "waiting",
+                "beats": 0,
+                "deadline_s": self.deadline_s,
+            }
+        stalled = age > self.deadline_s
+        return not stalled, {
+            "status": "stalled" if stalled else "ok",
+            "beats": self.beats,
+            "deadline_s": self.deadline_s,
+            "age_s": round(age, 3),
+            "last_tick": self.last_tick,
+        }
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    name = _NAME_SANITIZE.sub("_", name)
+    if not name or not (name[0].isalpha() or name[0] in "_:"):
+        name = "_" + name
+    return name
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(label_key: str, extra: Mapping[str, Any] | None = None) -> str:
+    """Render a canonical ``k=v,k2=v2`` label key (plus extras) as
+    ``{k="v",k2="v2"}``; empty string when there are no labels."""
+    pairs: list[tuple[str, str]] = []
+    if label_key:
+        for part in label_key.split(","):
+            key, _, value = part.partition("=")
+            pairs.append((_prom_name(key), _prom_escape(value)))
+    for key, value in (extra or {}).items():
+        pairs.append((_prom_name(key), _prom_escape(str(value))))
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a :meth:`Metrics.snapshot` as Prometheus text exposition.
+
+    Counters and gauges map directly; timers become summary-style
+    families: ``<name>_count`` / ``<name>_sum`` plus ``quantile``-labelled
+    sample lines from the deterministic reservoir percentiles.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        for label_key, value in snapshot["counters"][name].items():
+            lines.append(f"{prom}{_prom_labels(label_key)} {_prom_value(value)}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        for label_key, value in snapshot["gauges"][name].items():
+            lines.append(f"{prom}{_prom_labels(label_key)} {_prom_value(value)}")
+    for name in sorted(snapshot.get("timers", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for label_key, stat in snapshot["timers"][name].items():
+            for quantile, field in (("0.5", "p50_s"), ("0.95", "p95_s"), ("0.99", "p99_s")):
+                lines.append(
+                    f"{prom}{_prom_labels(label_key, {'quantile': quantile})} "
+                    f"{_prom_value(stat[field])}"
+                )
+            lines.append(
+                f"{prom}_count{_prom_labels(label_key)} {_prom_value(stat['count'])}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(label_key)} {_prom_value(stat['total_s'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- the server ----------------------------------------------------------------
+
+
+class _TelemetrySink:
+    """Tracer sink fanning events into the server's aggregator + health.
+
+    Lives behind the server's lock: the simulation thread writes through
+    :meth:`emit` while HTTP threads read summaries.
+    """
+
+    def __init__(self, server: "TelemetryServer") -> None:
+        self._server = server
+
+    def emit(self, event: TraceEvent) -> None:
+        self._server.observe(event)
+
+    def close(self) -> None:
+        return None
+
+
+class TelemetryServer:
+    """In-process HTTP telemetry endpoint over a background thread."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        metrics: Metrics | None = None,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        tick_s: float = DEFAULT_TICK_S,
+        max_points: int = DEFAULT_MAX_POINTS,
+    ) -> None:
+        self.host = host
+        self.port = port  # requested; updated to the bound port on start()
+        self._metrics = metrics
+        self.health = HealthState(deadline_s)
+        self.aggregator = TimelineAggregator(tick_s=tick_s, max_points=max_points)
+        self.sink = _TelemetrySink(self)
+        self._lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.started_at = time.time()
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics if self._metrics is not None else get_metrics()
+
+    # -- event intake --------------------------------------------------------
+
+    def observe(self, event: TraceEvent) -> None:
+        """Fold one live trace event into the timeline and the heartbeat."""
+        with self._lock:
+            self.aggregator.emit(event)
+            self.health.beat(event.time)
+
+    def beat(self, tick: float | None = None) -> None:
+        """Direct progress heartbeat for un-traced callers."""
+        with self._lock:
+            self.health.beat(tick)
+
+    # -- documents -----------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        return render_prometheus(self.metrics.snapshot())
+
+    def health_doc(self) -> tuple[int, dict[str, Any]]:
+        with self._lock:
+            alive, payload = self.health.status()
+        return (200 if alive else 503), payload
+
+    def snapshot_doc(self) -> dict[str, Any]:
+        """The live dashboard summary: the timeline aggregator's series
+        (volatile ones under ``"wall"``, as usual) plus build identity and
+        the health payload (volatile → under ``"wall"`` too)."""
+        with self._lock:
+            summary = self.aggregator.summary()
+            _, health = self.health.status()
+        summary["meta"]["build"] = build_info()
+        wall = summary.setdefault("wall", {})
+        wall["health"] = health
+        wall["uptime_s"] = round(time.time() - self.started_at, 3)
+        return summary
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            return self.port
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            server_version = server_banner()
+            sys_version = ""  # do not advertise the Python build
+
+            def version_string(self) -> str:
+                # The base class joins server_version + sys_version with a
+                # space, leaving a trailing blank; the banner alone is the
+                # whole Server header.
+                return server_banner()
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path == "/metrics":
+                    body = server.metrics_text().encode("utf-8")
+                    self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/healthz":
+                    status, payload = server.health_doc()
+                    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                    self._reply(status, body, "application/json")
+                elif path == "/snapshot":
+                    body = (
+                        json.dumps(server.snapshot_doc(), sort_keys=True) + "\n"
+                    ).encode()
+                    self._reply(200, body, "application/json")
+                elif path == "/":
+                    body = (
+                        json.dumps(
+                            {
+                                "build": build_info(),
+                                "endpoints": ["/metrics", "/healthz", "/snapshot"],
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    ).encode()
+                    self._reply(200, body, "application/json")
+                else:
+                    self._reply(404, b"not found\n", "text/plain")
+
+            def _reply(self, status: int, body: bytes, content_type: str) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                # Route access logs through the run logger instead of stderr.
+                log = get_run_logger()
+                if log.enabled:
+                    log.debug("serve", format % args, client=self.client_address[0])
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-telemetry-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        log = get_run_logger()
+        if log.enabled:
+            log.info("serve", "telemetry endpoint up", host=self.host, port=self.port)
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+# -- ambient wiring -------------------------------------------------------------
+
+_active_server: TelemetryServer | None = None
+
+
+def get_server() -> TelemetryServer | None:
+    """The process-wide telemetry server, if one is running."""
+    return _active_server
+
+
+def install(
+    port: int,
+    *,
+    host: str = "127.0.0.1",
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    tracer: Tracer | None = None,
+) -> TelemetryServer:
+    """Start a telemetry server and register its sink on the tracer.
+
+    When the ambient tracer is disabled (no ``MEDEA_TRACE``), a sink-only
+    tracer is installed so the event stream exists for the live plane
+    without writing any JSONL file — the canonical trace output of
+    serve-less runs is untouched because none of this happens unless the
+    caller asked to serve.
+    """
+    global _active_server
+    if _active_server is not None:
+        return _active_server
+    server = TelemetryServer(port, host=host, deadline_s=deadline_s)
+    server.start()
+    target = tracer if tracer is not None else get_tracer()
+    if not target.enabled:
+        target = Tracer([server.sink])
+        set_tracer(target)
+    else:
+        target.add_sink(server.sink)
+    _active_server = server
+    return server
+
+
+def shutdown_server() -> None:
+    """Stop the ambient telemetry server and detach its sink."""
+    global _active_server
+    server = _active_server
+    if server is None:
+        return
+    _active_server = None
+    tracer = get_tracer()
+    try:
+        tracer.remove_sink(server.sink)
+    except ValueError:
+        pass
+    server.stop()
+
+
+def serve_from_env(environ: Mapping[str, str] | None = None) -> TelemetryServer | None:
+    """Start the telemetry endpoint when ``MEDEA_SERVE`` is set.
+
+    The value is the port to bind (``0`` picks an ephemeral port, printed
+    by the caller).  Returns the server, or ``None`` when serving is not
+    requested.  Idempotent.
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get(ENV_SERVE, "").strip()
+    if not raw or raw.lower() in ("false", "no", "off"):
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_SERVE} must be a port number, got {raw!r}"
+        ) from None
+    return install(port)
+
+
+# -- the watch client ------------------------------------------------------------
+
+
+def _normalize_target(target: str) -> str:
+    """Accept a port, ``host:port``, or full URL; return a base URL."""
+    if target.isdigit():
+        return f"http://127.0.0.1:{target}"
+    if "://" not in target:
+        return f"http://{target}"
+    return target.rstrip("/")
+
+
+def fetch_snapshot(target: str, *, timeout_s: float = 5.0) -> dict[str, Any]:
+    """GET ``/snapshot`` from a telemetry endpoint (identified User-Agent)."""
+    url = _normalize_target(target).rstrip("/") + "/snapshot"
+    request = Request(url, headers={"User-Agent": user_agent("watch")})
+    with urlopen(request, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def render_watch(snapshot: Mapping[str, Any]) -> str:
+    """One refreshing-terminal frame of a live ``/snapshot`` document."""
+    from ..reporting import render_table
+
+    meta = snapshot.get("meta", {})
+    wall = snapshot.get("wall", {})
+    health = wall.get("health", {})
+    build = meta.get("build", {})
+    span = meta.get("time_span")
+    span_txt = (
+        f"t=[{span[0]:.1f}, {span[1]:.1f}]s" if span else "t=(no events yet)"
+    )
+    header = (
+        f"{build.get('name', 'repro')}/{build.get('version', '?')}  "
+        f"{span_txt}  events={meta.get('events', 0)}  "
+        f"health={health.get('status', '?')}"
+        + (
+            f" (tick {health.get('last_tick')}, age {health.get('age_s')}s)"
+            if health.get("last_tick") is not None
+            else ""
+        )
+    )
+    rows = []
+
+    def series_rows(series: Mapping[str, Any], volatile: bool) -> None:
+        for name in sorted(series):
+            obj = series[name]
+            if "last" not in obj:
+                continue
+            rows.append(
+                [
+                    name + (" *" if volatile else ""),
+                    f"{obj['last']:.4g}",
+                    f"{obj['mean']:.4g}",
+                    f"{obj['min']:.4g}",
+                    f"{obj['max']:.4g}",
+                    len(obj.get("points", ())),
+                ]
+            )
+
+    series_rows(snapshot.get("series", {}), volatile=False)
+    series_rows(wall.get("series", {}), volatile=True)
+    if not rows:
+        return header + "\n\n(no series yet — is the run emitting events?)"
+    table = render_table(
+        ["series", "last", "mean", "min", "max", "points"], rows
+    )
+    return header + "\n\n" + table + "\n* = volatile (wall-clock-derived)"

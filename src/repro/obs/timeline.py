@@ -318,6 +318,9 @@ class TimelineAggregator:
         if "queued" in data:
             self._series("engine_queue", "mean").add(t, data["queued"])
 
+    def _on_watchdog_trip(self, t: float, data: Mapping, wall: Mapping) -> None:
+        self._series("watchdog_trips", "sum").add(t, 1)
+
     def _on_scheduler_place(self, t: float, data: Mapping, wall: Mapping) -> None:
         if "solve_time_s" in wall:
             scheduler = data.get("scheduler", "?")
@@ -344,6 +347,7 @@ class TimelineAggregator:
         EventKind.ENGINE_DISPATCH: _on_engine_dispatch,
         EventKind.SCHEDULER_PLACE: _on_scheduler_place,
         EventKind.SOLVER_SOLVE: _on_solver_solve,
+        EventKind.WATCHDOG_TRIP: _on_watchdog_trip,
     }
 
     # -- output ----------------------------------------------------------------

@@ -1,0 +1,359 @@
+"""Online invariant watchdogs: corruption detection at the moment of
+corruption.
+
+The trace replayer (:mod:`repro.obs.replay`) already proves, *post
+mortem*, that a run's event stream is a faithful account of its state.
+On a shared production cluster that is too late — a 400-node run that
+silently leaks containers produces garbage for hours before anyone reads
+the trace.  The :class:`Watchdog` moves those checks online: hooked into
+the simulation's engine heartbeat, it re-derives the cluster's conserved
+quantities from first principles every few ticks and trips the moment the
+authoritative state stops agreeing with itself.
+
+Checks (each independently intervalled; 1 = every heartbeat):
+
+* ``node_conservation`` — per node, the free-resource vector must equal
+  capacity minus the sum of its allocations, and never go negative.
+* ``container_conservation`` — the cluster-wide container map and the
+  union of per-node allocation maps must hold exactly the same container
+  ids (a leaked container lives on a node but not in the map; a
+  double-free is the reverse).
+* ``violation_consistency`` — :func:`repro.obs.violations
+  .evaluate_violations` must be internally consistent (violating ⊆
+  subject, records ↔ counts, non-negative extent) and its evaluation
+  counter monotone.
+* ``fingerprint`` — :func:`repro.cluster.state.placement_fingerprint`
+  recomputed from the per-node allocations must match the state's own
+  digest (the same cross-check replay performs, but live).
+
+A tripped watchdog emits a typed ``watchdog.trip`` trace event whose
+``data`` payload is fully deterministic (check name, tick, structured
+diagnosis naming nodes/containers), bumps ``watchdog_trips_total``, logs
+an ``error`` record, and — in ``abort`` mode — raises
+:class:`WatchdogError` so the run exits non-zero instead of continuing on
+corrupt state.
+
+Zero-cost when off: the simulation holds ``watchdog=None`` unless
+``MEDEA_WATCHDOG`` (``1``/``warn``/``abort``) or an explicit instance
+enables it, so disabled runs execute no checks and emit no events.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .events import EventKind
+from .log import RunLogger, get_run_logger
+from .metrics import Metrics, get_metrics
+from .trace import Tracer, get_tracer
+
+if TYPE_CHECKING:  # annotation-only; the watchdog works on duck-typed sims
+    from ..sim.cluster_sim import ClusterSimulation
+
+__all__ = [
+    "Watchdog",
+    "WatchdogError",
+    "WatchdogTrip",
+    "CHECKS",
+    "watchdog_from_env",
+]
+
+#: Environment variable read by :func:`watchdog_from_env`.
+ENV_WATCHDOG = "MEDEA_WATCHDOG"
+
+#: The check catalogue, in evaluation order.
+CHECKS = (
+    "node_conservation",
+    "container_conservation",
+    "violation_consistency",
+    "fingerprint",
+)
+
+_MODES = ("warn", "abort")
+
+
+class WatchdogError(RuntimeError):
+    """A watchdog tripped in ``abort`` mode; the run must not continue."""
+
+    def __init__(self, trip: "WatchdogTrip") -> None:
+        super().__init__(
+            f"watchdog tripped at t={trip.time}: {trip.check}: {trip.summary()}"
+        )
+        self.trip = trip
+
+
+@dataclass
+class WatchdogTrip:
+    """One detected invariant violation."""
+
+    check: str
+    time: float
+    #: Deterministic structured diagnosis (sorted ids, expected/actual).
+    diagnosis: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        parts = [f"{key}={self.diagnosis[key]}" for key in sorted(self.diagnosis)]
+        return " ".join(parts) if parts else "(no diagnosis)"
+
+    def to_data(self) -> dict[str, Any]:
+        """``watchdog.trip`` event payload (deterministic)."""
+        return {"check": self.check, **self.diagnosis}
+
+
+class Watchdog:
+    """Online invariant monitor over a :class:`ClusterSimulation`.
+
+    ``mode`` decides what a trip does: ``warn`` records it and keeps
+    running (the trip event + log line are the alert), ``abort`` raises
+    :class:`WatchdogError` after recording.  Identical consecutive
+    diagnoses for a check are emitted once, so a persistent corruption
+    does not flood the trace — the first trip pins the corrupting tick.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "warn",
+        fingerprint_interval: int = 1,
+        violations_interval: int = 5,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
+        logger: RunLogger | None = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown watchdog mode {mode!r}; expected {_MODES}")
+        if fingerprint_interval < 1 or violations_interval < 1:
+            raise ValueError("check intervals must be >= 1")
+        self.mode = mode
+        #: Run the fingerprint self-check every N-th heartbeat.
+        self.fingerprint_interval = fingerprint_interval
+        #: Run the (expensive) violation audit every N-th heartbeat.
+        self.violations_interval = violations_interval
+        self.trips: list[WatchdogTrip] = []
+        self.checks_run = 0
+        self._tracer = tracer
+        self._metrics = metrics
+        self._logger = logger
+        #: check -> last emitted diagnosis, for consecutive-trip dedup.
+        self._last_diagnosis: dict[str, dict[str, Any]] = {}
+        #: High-water mark of the violations evaluation counter.
+        self._violation_evals = 0.0
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    @property
+    def metrics(self) -> Metrics:
+        return self._metrics if self._metrics is not None else get_metrics()
+
+    @property
+    def logger(self) -> RunLogger:
+        return self._logger if self._logger is not None else get_run_logger()
+
+    # -- the heartbeat hook --------------------------------------------------
+
+    def check(self, sim: "ClusterSimulation", *, now: float) -> list[WatchdogTrip]:
+        """Run the due checks against ``sim`` at simulated time ``now``.
+
+        Returns the trips detected *this call* (also appended to
+        :attr:`trips`).  Raises :class:`WatchdogError` on the first trip
+        when in ``abort`` mode.
+        """
+        self.checks_run += 1
+        new_trips: list[WatchdogTrip] = []
+        state = sim.state
+        new_trips.extend(self._check_node_conservation(state, now))
+        new_trips.extend(self._check_container_conservation(state, now))
+        if self.checks_run % self.violations_interval == 0:
+            new_trips.extend(self._check_violation_consistency(sim, now))
+        if self.checks_run % self.fingerprint_interval == 0:
+            new_trips.extend(self._check_fingerprint(state, now))
+        for trip in new_trips:
+            self._record(trip)
+        if new_trips and self.mode == "abort":
+            raise WatchdogError(new_trips[0])
+        return new_trips
+
+    # -- individual invariants ----------------------------------------------
+
+    def _check_node_conservation(self, state, now: float) -> list[WatchdogTrip]:
+        """Per-node resource accounting: free == capacity − Σ allocations,
+        both components non-negative."""
+        trips = []
+        for node in state.topology:
+            allocated_mem = 0
+            allocated_vcores = 0
+            container_count = 0
+            for allocation in node.iter_allocations():
+                allocated_mem += allocation.resource.memory_mb
+                allocated_vcores += allocation.resource.vcores
+                container_count += 1
+            free = node.free
+            capacity = node.capacity
+            expected_mem = capacity.memory_mb - allocated_mem
+            expected_vcores = capacity.vcores - allocated_vcores
+            drift = (
+                free.memory_mb != expected_mem or free.vcores != expected_vcores
+            )
+            negative = free.memory_mb < 0 or free.vcores < 0
+            over = allocated_mem > capacity.memory_mb or (
+                allocated_vcores > capacity.vcores
+            )
+            if drift or negative or over:
+                trips.append(
+                    WatchdogTrip(
+                        "node_conservation",
+                        now,
+                        {
+                            "node_id": node.node_id,
+                            "containers": container_count,
+                            "free_memory_mb": free.memory_mb,
+                            "free_vcores": free.vcores,
+                            "expected_free_memory_mb": expected_mem,
+                            "expected_free_vcores": expected_vcores,
+                            "negative_free": negative,
+                            "over_capacity": over,
+                        },
+                    )
+                )
+        return trips
+
+    def _check_container_conservation(self, state, now: float) -> list[WatchdogTrip]:
+        """The cluster-wide container map and the union of per-node
+        allocations must agree exactly (ids and hosting node)."""
+        node_side: dict[str, str] = {}
+        duplicated: list[str] = []
+        for node in state.topology:
+            for allocation in node.iter_allocations():
+                if allocation.container_id in node_side:
+                    duplicated.append(allocation.container_id)
+                node_side[allocation.container_id] = node.node_id
+        state_side = {
+            container_id: placed.node_id
+            for container_id, placed in state.containers.items()
+        }
+        if node_side == state_side and not duplicated:
+            return []
+        leaked = sorted(set(node_side) - set(state_side))
+        missing = sorted(set(state_side) - set(node_side))
+        moved = sorted(
+            container_id
+            for container_id in set(node_side) & set(state_side)
+            if node_side[container_id] != state_side[container_id]
+        )
+        diagnosis: dict[str, Any] = {
+            "state_containers": len(state_side),
+            "node_containers": len(node_side),
+        }
+        if leaked:
+            # On a node but unknown to the cluster map: a leak.  Name the
+            # culprits and where they sit so the operator can act.
+            diagnosis["leaked"] = [
+                [container_id, node_side[container_id]] for container_id in leaked
+            ]
+        if missing:
+            # In the cluster map but on no node: a double-free / lost alloc.
+            diagnosis["missing"] = [
+                [container_id, state_side[container_id]] for container_id in missing
+            ]
+        if moved:
+            diagnosis["moved"] = [
+                [container_id, state_side[container_id], node_side[container_id]]
+                for container_id in moved
+            ]
+        if duplicated:
+            diagnosis["duplicated"] = sorted(set(duplicated))
+        return [WatchdogTrip("container_conservation", now, diagnosis)]
+
+    def _check_violation_consistency(self, sim, now: float) -> list[WatchdogTrip]:
+        """The violation auditor must agree with itself, and its evaluation
+        counter must be monotone."""
+        from .violations import evaluate_violations
+
+        report = evaluate_violations(
+            sim.state, manager=sim.medea.manager, metrics=self.metrics
+        )
+        distinct_violating = len({r.container_id for r in report.records})
+        problems: dict[str, Any] = {}
+        if report.violating_containers > report.subject_containers:
+            problems["violating"] = report.violating_containers
+            problems["subjects"] = report.subject_containers
+        if report.total_extent < 0:
+            problems["total_extent"] = report.total_extent
+        # Compound constraints contribute to the violating count without a
+        # per-record entry, so records can only undercount — never exceed.
+        if distinct_violating > report.violating_containers:
+            problems["record_containers"] = distinct_violating
+            problems["violating"] = report.violating_containers
+        evals = self.metrics.counter("violations_evaluations_total").total()
+        if evals < self._violation_evals:
+            problems["evaluations"] = evals
+            problems["previous_evaluations"] = self._violation_evals
+        self._violation_evals = max(self._violation_evals, evals)
+        if not problems:
+            return []
+        return [WatchdogTrip("violation_consistency", now, problems)]
+
+    def _check_fingerprint(self, state, now: float) -> list[WatchdogTrip]:
+        """Recompute the placement fingerprint from the per-node allocation
+        maps and compare with the state's own digest."""
+        from ..cluster.state import placement_fingerprint
+
+        node_side = {
+            allocation.container_id: node.node_id
+            for node in state.topology
+            for allocation in node.iter_allocations()
+        }
+        recomputed = placement_fingerprint(node_side, state.down_node_ids())
+        recorded = state.fingerprint()
+        if recomputed == recorded:
+            return []
+        return [
+            WatchdogTrip(
+                "fingerprint",
+                now,
+                {"recorded": recorded, "recomputed": recomputed},
+            )
+        ]
+
+    # -- trip plumbing -------------------------------------------------------
+
+    def _record(self, trip: WatchdogTrip) -> None:
+        if self._last_diagnosis.get(trip.check) == trip.diagnosis:
+            return  # same persistent corruption; already reported
+        self._last_diagnosis[trip.check] = dict(trip.diagnosis)
+        self.trips.append(trip)
+        self.metrics.counter("watchdog_trips_total").inc(check=trip.check)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.WATCHDOG_TRIP, time=trip.time, data=trip.to_data()
+            )
+        log = self.logger
+        if log.enabled:
+            log.error(
+                "watchdog",
+                f"invariant {trip.check} violated",
+                tick=trip.time,
+                **{k: v for k, v in trip.diagnosis.items()},
+            )
+
+
+def watchdog_from_env(
+    environ: Mapping[str, str] | None = None, **kwargs: Any
+) -> Watchdog | None:
+    """Build a watchdog when ``MEDEA_WATCHDOG`` requests one.
+
+    ``1``/``true``/``on``/``warn`` → warn mode; ``abort`` → abort mode;
+    unset/falsy → ``None`` (the zero-cost default).  Extra ``kwargs`` pass
+    through to :class:`Watchdog`.
+    """
+    env = os.environ if environ is None else environ
+    flag = env.get(ENV_WATCHDOG, "").strip().lower()
+    if flag in ("", "0", "false", "no", "off"):
+        return None
+    mode = "abort" if flag == "abort" else "warn"
+    return Watchdog(mode=mode, **kwargs)

@@ -25,9 +25,11 @@ from ..core.medea import MedeaScheduler
 from ..core.requests import LRARequest, TaskRequest
 from ..core.scheduler import LRAScheduler
 from ..obs.events import EventKind
+from ..obs.log import get_run_logger
 from ..obs.metrics import Metrics, get_metrics
 from ..obs.spans import span
 from ..obs.trace import Tracer, get_tracer
+from ..obs.watchdog import Watchdog, watchdog_from_env
 from ..taskscheduler.base import TaskBasedScheduler
 from ..taskscheduler.capacity import CapacityScheduler
 from .engine import PeriodicHandle, SimulationEngine
@@ -58,6 +60,7 @@ class ClusterSimulation:
         ilp_all: bool = False,
         tracer: Tracer | None = None,
         metrics: Metrics | None = None,
+        watchdog: Watchdog | None = None,
     ) -> None:
         self.config = config or SimConfig()
         self.state = ClusterState(topology)
@@ -85,6 +88,9 @@ class ClusterSimulation:
         #: Cancellable handles for the heartbeat and cycle series.
         self.heartbeat_handle: PeriodicHandle | None = None
         self.cycle_handle: PeriodicHandle | None = None
+        #: Online invariant monitor; ``None`` (the default, unless
+        #: ``MEDEA_WATCHDOG`` asks for one) keeps the hot path check-free.
+        self.watchdog = watchdog if watchdog is not None else watchdog_from_env()
         self._install_periodic_activity()
 
     @property
@@ -141,6 +147,11 @@ class ClusterSimulation:
                     duration,
                     lambda _e, tid=allocation.task_id: self._finish_task(tid),
                 )
+        # Online invariant checks ride the same heartbeat that drives the
+        # task scheduler: corruption is caught at the tick it happens, not
+        # in a post-mortem replay.
+        if self.watchdog is not None:
+            self.watchdog.check(self, now=engine.now)
 
     def _cycle_tick(self, engine: SimulationEngine) -> None:
         with span("sim.cycle", tracer=self.tracer, time=engine.now):
@@ -216,6 +227,12 @@ class ClusterSimulation:
 
         def flip(engine: SimulationEngine) -> None:
             self.state.topology.node(node_id).available = up
+            log = get_run_logger()
+            if log.enabled:
+                log.info(
+                    "sim", "node availability flip", tick=engine.now,
+                    node=node_id, up=up,
+                )
             tracer = self.tracer
             if tracer.enabled:
                 tracer.emit(

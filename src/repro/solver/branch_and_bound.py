@@ -52,6 +52,7 @@ except Exception:  # pragma: no cover - depends on scipy build
 
 from ..obs.events import EventKind
 from ..obs.spans import span, span_phase
+from ..obs.log import get_run_logger
 from ..obs.trace import get_tracer
 from .model import MilpModel, MilpSolution, Sense, SolverStats, SolveStatus
 from .presolve import PresolveResult, StandardForm, presolve, standard_form
@@ -360,6 +361,17 @@ def _solution(
     start: float,
 ) -> MilpSolution:
     stats.time_total_s = time.perf_counter() - start
+    log = get_run_logger()
+    if log.enabled:
+        log.debug(
+            "solver",
+            "milp solve finished",
+            backend=stats.backend,
+            status=status.value,
+            nodes=stats.nodes_explored,
+            lps=stats.lp_solves,
+            total_ms=round(stats.time_total_s * 1000, 3),
+        )
     tracer = get_tracer()
     if tracer.enabled:
         tracer.emit(

@@ -1,0 +1,62 @@
+"""Build identity derived from the packaging metadata.
+
+One authority for "which build is this": the installed distribution
+metadata when the package is installed (``pip install -e .`` in CI), the
+adjacent ``pyproject.toml`` when running from a source checkout with
+``PYTHONPATH=src``.  Consumed by ``repro --version``, the telemetry
+server's ``Server:`` banner, and the ``repro watch`` ``User-Agent`` —
+so scraped endpoints identify the exact build that produced a series.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["DIST_NAME", "get_version", "build_info", "server_banner", "user_agent"]
+
+#: Distribution name in pyproject.toml.
+DIST_NAME = "repro"
+
+#: Fallback when neither distribution metadata nor pyproject.toml exists
+#: (e.g. a vendored single-directory copy of src/repro).
+_FALLBACK_VERSION = "0+unknown"
+
+
+def _version_from_pyproject() -> str | None:
+    """Parse ``version = "..."`` out of the checkout's pyproject.toml."""
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
+@lru_cache(maxsize=1)
+def get_version() -> str:
+    """The build's version string (metadata → pyproject → fallback)."""
+    try:
+        from importlib import metadata
+
+        return metadata.version(DIST_NAME)
+    except Exception:  # PackageNotFoundError, broken metadata backends
+        pass
+    return _version_from_pyproject() or _FALLBACK_VERSION
+
+
+def build_info() -> dict[str, str]:
+    """Deterministic name/version record embedded in served snapshots."""
+    return {"name": DIST_NAME, "version": get_version()}
+
+
+def server_banner() -> str:
+    """``Server:`` header value for the telemetry endpoint."""
+    return f"{DIST_NAME}/{get_version()}"
+
+
+def user_agent(component: str = "cli") -> str:
+    """``User-Agent`` for outbound HTTP (``repro watch`` polling)."""
+    return f"{DIST_NAME}-{component}/{get_version()}"

@@ -1,11 +1,13 @@
-"""Tests for the PR-2/PR-3 deprecation shims.
+"""Tests for the relocation deprecation shims.
 
-Two relocation shims keep old import paths alive: ``repro.solver.SolverStats``
-(moved to ``repro.obs``) and the ``repro.metrics.stats`` helpers (moved to
-``repro.obs.stats``).  Each access must emit exactly one
-:class:`DeprecationWarning` naming the new location and forward to the very
-same object, and non-moved attribute names must still raise
-:class:`AttributeError` rather than warn.
+The old import paths stay alive as pure warn-once shims:
+``repro.solver.SolverStats`` (moved to ``repro.obs``), the
+``repro.metrics.stats`` helpers (moved to ``repro.obs.stats``), the
+``repro.metrics.violations`` auditors (moved to ``repro.obs.violations``),
+and the ``repro.metrics`` package itself, which forwards every moved name.
+Each access must emit exactly one :class:`DeprecationWarning` naming the
+new location and forward to the very same object, and non-moved attribute
+names must still raise :class:`AttributeError` rather than warn.
 """
 
 from __future__ import annotations
@@ -89,3 +91,79 @@ class TestMetricsStatsShim:
         listed = dir(old)
         for name in ("BoxStats", "percentile", "cdf_points"):
             assert name in listed
+
+
+class TestMetricsViolationsShim:
+    @pytest.mark.parametrize("name", [
+        "ViolationRecord",
+        "ViolationReport",
+        "evaluate_violations",
+    ])
+    def test_each_name_warns_once_and_forwards(self, name):
+        import repro.metrics.violations as old
+        import repro.obs.violations as new
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            forwarded = getattr(old, name)
+        _single_deprecation(record, "repro.obs.violations")
+        assert forwarded is getattr(new, name)
+
+    def test_unknown_attribute_raises_without_warning(self):
+        import repro.metrics.violations as old
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError, match="NoSuchAuditor"):
+                old.NoSuchAuditor
+        assert record == []
+
+
+class TestMetricsPackageShim:
+    @pytest.mark.parametrize("name,new_home", [
+        ("BoxStats", "repro.obs.stats"),
+        ("EmptyDataError", "repro.obs.stats"),
+        ("percentile", "repro.obs.stats"),
+        ("cdf_points", "repro.obs.stats"),
+        ("coefficient_of_variation", "repro.obs.stats"),
+        ("ViolationRecord", "repro.obs.violations"),
+        ("ViolationReport", "repro.obs.violations"),
+        ("evaluate_violations", "repro.obs.violations"),
+    ])
+    def test_each_name_warns_once_and_forwards(self, name, new_home):
+        import importlib
+
+        import repro.metrics as old
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            forwarded = getattr(old, name)
+        _single_deprecation(record, new_home)
+        assert forwarded is getattr(importlib.import_module(new_home), name)
+
+    def test_unknown_attribute_raises_without_warning(self):
+        import repro.metrics as old
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            with pytest.raises(AttributeError, match="NoSuchMetric"):
+                old.NoSuchMetric
+        assert record == []
+
+    def test_dir_advertises_moved_names(self):
+        import repro.metrics as old
+
+        listed = dir(old)
+        for name in ("BoxStats", "evaluate_violations", "ViolationReport"):
+            assert name in listed
+
+    def test_repro_package_reexports_without_warning(self):
+        """The supported spellings (``repro.BoxStats`` etc.) must not warn."""
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            import repro
+
+            repro.BoxStats
+            repro.evaluate_violations
+        assert [w for w in record
+                if issubclass(w.category, DeprecationWarning)] == []

@@ -3,7 +3,7 @@
 Each test builds a small cluster, submits LRAs with constraints, solves with
 the ILP scheduler, applies the placements, and then audits the *resulting
 cluster state* with the independent brute-force checker
-(:func:`repro.metrics.evaluate_violations`) — so the encoding is validated
+(:func:`repro.obs.violations.evaluate_violations`) — so the encoding is validated
 against the constraint semantics, not against itself.
 """
 

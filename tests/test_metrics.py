@@ -17,7 +17,7 @@ from repro import (
     cardinality,
     evaluate_violations,
 )
-from repro.metrics import (
+from repro.obs.stats import (
     EmptyDataError,
     cdf_points,
     coefficient_of_variation,

@@ -1,0 +1,186 @@
+"""Tests for the structured run logger (``repro.obs.log``)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    LEVELS,
+    RunLogger,
+    configure_log_from_env,
+    get_run_logger,
+    render_console_line,
+    set_run_logger,
+)
+
+
+@pytest.fixture()
+def isolate_log():
+    """Restore the ambient run logger around a test."""
+    previous = set_run_logger(None)
+    yield
+    set_run_logger(previous)
+
+
+class TestRunLogger:
+    def test_jsonl_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        logger = RunLogger(path, run_id="testrun")
+        logger.info("sim", "node flip", tick=12.0, node="n3", up=False)
+        logger.warning("medea", "conflict", app="lra-1")
+        logger.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["run_id"] == "testrun"
+        assert first["level"] == "info"
+        assert first["component"] == "sim"
+        assert first["msg"] == "node flip"
+        assert first["tick"] == 12.0
+        assert first["node"] == "n3"
+        assert first["up"] is False
+        assert isinstance(first["ts"], float)
+        second = json.loads(lines[1])
+        assert second["level"] == "warning"
+        assert "tick" not in second
+        # Compact sorted-keys encoding: re-serialising reproduces the line.
+        assert lines[0] == json.dumps(
+            first, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_level_threshold_drops_records(self):
+        sink = io.StringIO()
+        logger = RunLogger(sink, level="warning")
+        assert logger.debug("x", "nope") is None
+        assert logger.info("x", "nope") is None
+        assert logger.warning("x", "yes") is not None
+        assert logger.error("x", "yes") is not None
+        assert logger.records == 2
+        assert len(sink.getvalue().splitlines()) == 2
+
+    def test_invalid_format_and_level_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            RunLogger(io.StringIO(), fmt="xml")
+        with pytest.raises(ValueError, match="level"):
+            RunLogger(io.StringIO(), level="loud")
+
+    def test_console_renderer(self):
+        record = {
+            "ts": 1.0,
+            "run_id": "r",
+            "level": "warning",
+            "component": "medea",
+            "msg": "conflict",
+            "tick": 30.0,
+            "app": "lra-1",
+            "span": "engine.run;sim.cycle",
+        }
+        line = render_console_line(record)
+        assert "30.0s" in line
+        assert "WARNING" in line
+        assert "medea: conflict" in line
+        assert "app=lra-1" in line
+        assert line.endswith("span=engine.run;sim.cycle")
+
+    def test_console_format_sink(self):
+        sink = io.StringIO()
+        logger = RunLogger(sink, fmt="console")
+        logger.info("sim", "hello", tick=1.0)
+        assert "INFO" in sink.getvalue()
+        assert "sim: hello" in sink.getvalue()
+
+    def test_span_path_attached(self, tmp_path):
+        from repro.obs.spans import span
+        from repro.obs.trace import Tracer, MemorySink, set_tracer
+
+        sink = io.StringIO()
+        logger = RunLogger(sink)
+        previous = set_tracer(Tracer([MemorySink()]))
+        try:
+            with span("engine.run"), span("sim.cycle"):
+                record = logger.info("medea", "inside")
+        finally:
+            set_tracer(previous)
+        assert record["span"] == "engine.run;sim.cycle"
+
+    def test_disabled_default_is_zero_cost(self, isolate_log):
+        log = get_run_logger()
+        assert not log.enabled
+        assert log.log("x", "dropped") is None
+        assert log.records == 0
+
+    def test_close_disables_and_is_idempotent(self, tmp_path):
+        logger = RunLogger(tmp_path / "run.jsonl")
+        logger.info("x", "one")
+        logger.close()
+        logger.close()
+        assert not logger.enabled
+        assert logger.log("x", "late") is None
+
+    def test_levels_catalogue(self):
+        assert LEVELS == ("debug", "info", "warning", "error")
+
+
+class TestEnvConfiguration:
+    def test_env_unset_means_disabled(self, isolate_log):
+        assert configure_log_from_env({}) is None
+        assert not get_run_logger().enabled
+
+    def test_env_file_target(self, isolate_log, tmp_path):
+        path = tmp_path / "env.jsonl"
+        logger = configure_log_from_env({"MEDEA_LOG": str(path)})
+        assert logger is get_run_logger()
+        assert logger.enabled
+        logger.info("sim", "via env")
+        logger.close()
+        assert "via env" in path.read_text()
+
+    def test_env_format_and_level(self, isolate_log, tmp_path):
+        path = tmp_path / "env.log"
+        logger = configure_log_from_env(
+            {
+                "MEDEA_LOG": str(path),
+                "MEDEA_LOG_FORMAT": "console",
+                "MEDEA_LOG_LEVEL": "error",
+            }
+        )
+        assert logger.fmt == "console"
+        assert logger.info("x", "dropped") is None
+        assert logger.error("x", "kept") is not None
+        logger.close()
+
+    def test_env_idempotent(self, isolate_log, tmp_path):
+        env = {"MEDEA_LOG": str(tmp_path / "a.jsonl")}
+        first = configure_log_from_env(env)
+        second = configure_log_from_env({"MEDEA_LOG": str(tmp_path / "b.jsonl")})
+        assert second is first
+        first.close()
+
+
+class TestInstrumentedComponents:
+    def test_engine_and_sim_log_through_run_logger(self, isolate_log, tmp_path):
+        from repro import SerialScheduler, build_cluster
+        from repro.obs.log import configure_log
+        from repro.sim import ClusterSimulation, SimConfig
+
+        path = tmp_path / "sim.jsonl"
+        logger = configure_log(path)
+        topo = build_cluster(4, racks=2, memory_mb=8 * 1024, vcores=8)
+        sim = ClusterSimulation(
+            topo, SerialScheduler(),
+            config=SimConfig(scheduling_interval_s=5.0, horizon_s=20.0),
+        )
+        sim.set_node_availability(topo.node_ids()[0], False, at=3.0)
+        sim.run(20.0)
+        logger.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        components = {r["component"] for r in records}
+        assert "engine" in components
+        assert "sim" in components
+        flips = [r for r in records if r["msg"] == "node availability flip"]
+        assert flips and flips[0]["tick"] == 3.0 and flips[0]["up"] is False
+        starts = [r for r in records if r["msg"] == "run start"]
+        assert starts and starts[0]["run_id"] == logger.run_id

@@ -1,0 +1,251 @@
+"""Tests for the live telemetry endpoint (``repro.obs.serve``)."""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.request
+
+import pytest
+
+from repro.obs.events import EventKind
+from repro.obs.metrics import Metrics, set_metrics
+from repro.obs.serve import (
+    HealthState,
+    TelemetryServer,
+    fetch_snapshot,
+    get_server,
+    install,
+    render_prometheus,
+    serve_from_env,
+    shutdown_server,
+)
+from repro.obs.trace import get_tracer, set_tracer
+from repro.version import get_version, server_banner, user_agent
+
+
+@pytest.fixture()
+def isolate_obs():
+    prev_tracer = set_tracer(None)
+    prev_metrics = set_metrics(Metrics())
+    yield
+    shutdown_server()
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+@pytest.fixture()
+def server(isolate_obs):
+    server = install(0)
+    yield server
+    shutdown_server()
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=5) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+#: One Prometheus text-exposition sample line: name{labels} value.
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]?Inf|[+-]?[0-9.e+-]+)$"
+)
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_timers(self):
+        metrics = Metrics()
+        metrics.counter("lra_placed_total").inc(3, scheduler="ilp")
+        metrics.gauge("violations_containers").set(2.0)
+        metrics.timer("scheduler_place_seconds").observe(0.25, scheduler="ilp")
+        text = render_prometheus(metrics.snapshot())
+        assert "# TYPE lra_placed_total counter" in text
+        assert 'lra_placed_total{scheduler="ilp"} 3.0' in text
+        assert "# TYPE violations_containers gauge" in text
+        assert "# TYPE scheduler_place_seconds summary" in text
+        assert 'scheduler_place_seconds{scheduler="ilp",quantile="0.5"}' in text
+        assert 'scheduler_place_seconds_count{scheduler="ilp"} 1.0' in text
+        assert 'scheduler_place_seconds_sum{scheduler="ilp"} 0.25' in text
+
+    def test_every_line_is_valid_exposition_format(self):
+        metrics = Metrics()
+        metrics.counter("a_total").inc()
+        metrics.counter("b_total").inc(2, k="v", other="x")
+        metrics.gauge("util").set(0.5, rack="r1")
+        metrics.timer("t_seconds").observe(0.1)
+        for line in render_prometheus(metrics.snapshot()).splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+                                r"(counter|gauge|summary)$", line), line
+            else:
+                assert _PROM_LINE.match(line), line
+
+    def test_name_sanitization_and_label_escaping(self):
+        metrics = Metrics()
+        metrics.counter("weird.name-total").inc(tag='quo"te\nnl')
+        text = render_prometheus(metrics.snapshot())
+        assert "weird_name_total" in text
+        assert '\\"' in text and "\\n" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(Metrics().snapshot()) == ""
+
+
+class TestHealthState:
+    def test_waiting_before_first_beat(self):
+        health = HealthState(5.0)
+        alive, payload = health.status()
+        assert alive and payload["status"] == "waiting"
+
+    def test_ok_then_stalled_past_deadline(self):
+        now = [100.0]
+        health = HealthState(5.0, clock=lambda: now[0])
+        health.beat(12.0)
+        alive, payload = health.status()
+        assert alive and payload["status"] == "ok"
+        assert payload["last_tick"] == 12.0
+        now[0] += 6.0
+        alive, payload = health.status()
+        assert not alive and payload["status"] == "stalled"
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            HealthState(0)
+
+
+class TestEndpoints:
+    def test_metrics_endpoint(self, server):
+        server.metrics.counter("lra_placed_total").inc(scheduler="ilp")
+        status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert 'lra_placed_total{scheduler="ilp"} 1.0' in body
+
+    def test_healthz_flips_503_on_stall(self, isolate_obs):
+        server = TelemetryServer(0, deadline_s=0.05)
+        server.start()
+        try:
+            # Before any event: waiting, still 200.
+            status, _, body = _get(server, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "waiting"
+            # One event beats health; fresh = ok.
+            server.beat(3.0)
+            status, _, body = _get(server, "/healthz")
+            assert status == 200
+            assert json.loads(body)["last_tick"] == 3.0
+            # Stall past the (artificially tiny) deadline → 503.
+            import time
+            time.sleep(0.1)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["status"] == "stalled"
+        finally:
+            server.stop()
+
+    def test_snapshot_structure_and_live_series(self, server):
+        tracer = get_tracer()
+        assert tracer.enabled  # install() set up a sink-only tracer
+        tracer.emit(
+            EventKind.SIM_STATE_HASH, time=1.0,
+            data={"hash": "h", "containers": 2, "utilization": 0.25,
+                  "utilization_by_rack": {}, "pending_tasks": 0,
+                  "pending_lras": 1, "nodes_down": 0},
+        )
+        status, _, body = _get(server, "/snapshot")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["meta"]["build"]["name"] == "repro"
+        assert snapshot["meta"]["build"]["version"] == get_version()
+        assert snapshot["wall"]["health"]["status"] == "ok"
+        assert "utilization" in snapshot["series"]
+
+    def test_index_and_404(self, server):
+        status, _, body = _get(server, "/")
+        assert status == 200
+        assert json.loads(body)["endpoints"] == [
+            "/metrics", "/healthz", "/snapshot"
+        ]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_server_banner_from_build_metadata(self, server):
+        with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as r:
+            banner = r.headers["Server"]
+        assert banner == server_banner()
+        assert banner == f"repro/{get_version()}"
+        assert "Python" not in banner
+
+
+class TestAmbientWiring:
+    def test_install_is_idempotent_and_shutdown_detaches(self, isolate_obs):
+        first = install(0)
+        assert install(0) is first
+        assert get_server() is first
+        shutdown_server()
+        assert get_server() is None
+
+    def test_install_attaches_sink_to_enabled_tracer(self, isolate_obs):
+        from repro.obs.trace import MemorySink, Tracer
+
+        sink = MemorySink()
+        set_tracer(Tracer([sink]))
+        server = install(0)
+        get_tracer().emit(EventKind.SIM_HEARTBEAT, time=2.0,
+                          data={"allocations": 0})
+        assert server.health.beats == 1
+        assert len(sink.events) == 1  # the original sink still sees events
+
+    def test_serve_from_env(self, isolate_obs):
+        assert serve_from_env({}) is None
+        assert serve_from_env({"MEDEA_SERVE": "off"}) is None
+        with pytest.raises(ValueError, match="port"):
+            serve_from_env({"MEDEA_SERVE": "not-a-port"})
+        server = serve_from_env({"MEDEA_SERVE": "0"})
+        assert server is not None and server.port > 0
+
+
+class TestWatchClient:
+    def test_fetch_snapshot_and_user_agent(self, server):
+        snapshot = fetch_snapshot(str(server.port))
+        assert snapshot["meta"]["build"]["name"] == "repro"
+        assert user_agent("watch") == f"repro-watch/{get_version()}"
+
+    def test_render_watch_frame(self, server):
+        from repro.obs.serve import render_watch
+
+        get_tracer().emit(
+            EventKind.SIM_STATE_HASH, time=1.0,
+            data={"hash": "h", "containers": 2, "utilization": 0.25,
+                  "utilization_by_rack": {}, "pending_tasks": 3,
+                  "pending_lras": 1, "nodes_down": 0},
+        )
+        frame = render_watch(fetch_snapshot(str(server.port)))
+        assert f"repro/{get_version()}" in frame
+        assert "health=ok" in frame
+        assert "utilization" in frame
+
+    def test_cli_watch_count_one(self, server, capsys):
+        from repro.cli import main
+
+        get_tracer().emit(EventKind.SIM_HEARTBEAT, time=1.0,
+                          data={"allocations": 0})
+        assert main(["watch", str(server.port), "--count", "1",
+                     "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert f"repro/{get_version()}" in out
+
+    def test_cli_watch_unreachable_exits_nonzero(self, isolate_obs, capsys):
+        from repro.cli import main
+
+        # A port with nothing listening (bind-and-close to find one).
+        import socket
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            dead_port = s.getsockname()[1]
+        assert main(["watch", str(dead_port), "--count", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -346,10 +346,13 @@ class TestTimerPercentiles:
 
 
 class TestStatsMove:
-    def test_metrics_package_import_warns_nothing(self):
+    def test_repro_package_import_warns_nothing(self):
+        """The supported spelling is ``from repro import BoxStats``; the
+        whole ``repro.metrics`` package is now a warn-once shim (see
+        tests/test_deprecation_shims.py)."""
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            from repro.metrics import BoxStats, percentile  # noqa: F401
+            from repro import BoxStats, evaluate_violations  # noqa: F401
 
     def test_old_module_path_warns(self):
         import repro.metrics.stats as old
@@ -407,6 +410,39 @@ class TestTraceFileReading:
         assert [e["kind"] for e in trace.events] == ["a"]
         with pytest.raises(TraceFileError):
             read_trace(str(path), allow_partial_tail=False)
+
+    def test_directory_gets_actionable_error(self, tmp_path):
+        with pytest.raises(TraceFileError, match="is a directory"):
+            read_trace(str(tmp_path))
+
+    def test_bench_json_gets_actionable_error(self, tmp_path):
+        path = tmp_path / "BENCH_timeline.json"
+        path.write_text(json.dumps(
+            {"schema": 2, "benchmarks": {"fig11a": {"series": {}}}},
+            indent=2,
+        ))
+        with pytest.raises(TraceFileError, match="bench-compare"):
+            read_trace(str(path))
+
+    def test_non_event_json_gets_actionable_error(self, tmp_path):
+        path = tmp_path / "notatrace.jsonl"
+        path.write_text('{"kind": "a", "seq": 0}\n{"hello": "world"}\n')
+        with pytest.raises(TraceFileError, match="no 'kind' field"):
+            read_trace(str(path))
+
+    def test_cli_dashboard_actionable_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["dashboard", str(tmp_path)]) == 1
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_cli_trace_report_bench_file_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"benchmarks": {}}, indent=2))
+        assert main(["trace-report", str(path)]) == 1
+        assert "bench-compare" in capsys.readouterr().err
 
 
 class TestCli:

@@ -1,0 +1,272 @@
+"""Tests for the online invariant watchdog (``repro.obs.watchdog``).
+
+The interesting cases corrupt the authoritative cluster state mid-run —
+leak a container onto a node behind the state map's back, double-free one
+out of the map — and assert the watchdog fires at the corrupting tick
+with a deterministic, actionable diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import SerialScheduler, build_cluster
+from repro.cluster.node import Allocation
+from repro.cluster.resources import Resource
+from repro.obs.events import EventKind
+from repro.obs.metrics import Metrics, set_metrics
+from repro.obs.trace import MemorySink, Tracer, set_tracer
+from repro.obs.watchdog import (
+    CHECKS,
+    Watchdog,
+    WatchdogError,
+    watchdog_from_env,
+)
+from repro.sim import ClusterSimulation, SimConfig
+from tests.helpers import make_lra
+
+
+@pytest.fixture()
+def isolate_obs():
+    prev_tracer = set_tracer(None)
+    prev_metrics = set_metrics(Metrics())
+    yield
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+def _make_sim(watchdog, horizon=20.0):
+    topo = build_cluster(6, racks=2, memory_mb=8 * 1024, vcores=8)
+    sim = ClusterSimulation(
+        topo, SerialScheduler(),
+        config=SimConfig(scheduling_interval_s=5.0, horizon_s=horizon),
+        watchdog=watchdog,
+    )
+    sim.submit_lra(make_lra("web", containers=2, tags={"web"}), at=1.0)
+    return sim
+
+
+def _leak_container(sim, node_index=0, container_id="leak-1"):
+    """Allocate directly on a node, bypassing the cluster state map."""
+    node = sim.state.topology.node(sim.state.topology.node_ids()[node_index])
+    node.allocate(
+        Allocation(container_id, Resource(memory_mb=256, vcores=1),
+                   frozenset(), "ghost")
+    )
+    return node.node_id
+
+
+class TestCleanRuns:
+    def test_no_trips_on_healthy_simulation(self, isolate_obs):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+        sim.run(20.0)
+        assert watchdog.trips == []
+        assert watchdog.checks_run > 0
+
+    def test_checks_catalogue(self):
+        assert CHECKS == (
+            "node_conservation",
+            "container_conservation",
+            "violation_consistency",
+            "fingerprint",
+        )
+
+
+class TestContainerLeak:
+    def test_leak_trips_at_corrupting_tick_naming_node_and_container(
+        self, isolate_obs
+    ):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+        leaked_node = {}
+        sim.engine.schedule_at(
+            7.0, lambda _e: leaked_node.setdefault("id", _leak_container(sim))
+        )
+        sim.run(20.0)
+        checks = {trip.check for trip in watchdog.trips}
+        assert "container_conservation" in checks
+        trip = next(
+            t for t in watchdog.trips if t.check == "container_conservation"
+        )
+        # Heartbeats run every 1.0s, so the first check after the t=7.0
+        # corruption is the t=7.0 heartbeat itself (corrupting event was
+        # scheduled first, same tick).
+        assert trip.time == 7.0
+        assert trip.diagnosis["leaked"] == [["leak-1", leaked_node["id"]]]
+        # The independently recomputed fingerprint diverges too.
+        assert "fingerprint" in checks
+
+    def test_consecutive_identical_diagnosis_reported_once(self, isolate_obs):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+        sim.engine.schedule_at(7.0, lambda _e: _leak_container(sim))
+        sim.run(20.0)
+        conservation_trips = [
+            t for t in watchdog.trips if t.check == "container_conservation"
+        ]
+        # ~13 more heartbeats see the same leak; only the first is recorded.
+        assert len(conservation_trips) == 1
+
+
+class TestDoubleFree:
+    def test_missing_container_diagnosed(self, isolate_obs):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+
+        def double_free(_engine):
+            # Remove a placed container from its node but leave the state
+            # map entry: the node side forgot an allocation the cluster
+            # still believes in.
+            container_id, placed = next(iter(sim.state.containers.items()))
+            node = sim.state.topology.node(placed.node_id)
+            node.release(container_id)
+
+        sim.engine.schedule_at(8.0, double_free)
+        sim.run(20.0)
+        trip = next(
+            t for t in watchdog.trips if t.check == "container_conservation"
+        )
+        assert trip.time == 8.0
+        assert len(trip.diagnosis["missing"]) == 1
+        # node-side release also breaks per-node resource accounting? No —
+        # release restores free correctly; only the cross-map check fires.
+        assert trip.diagnosis["state_containers"] == (
+            trip.diagnosis["node_containers"] + 1
+        )
+
+
+class TestTripEvent:
+    def test_trip_event_emitted_and_canonical_deterministic(self, isolate_obs):
+        def run_once():
+            sink = MemorySink()
+            set_tracer(Tracer([sink]))
+            set_metrics(Metrics())
+            watchdog = Watchdog(mode="warn")
+            sim = _make_sim(watchdog)
+            sim.engine.schedule_at(7.0, lambda _e: _leak_container(sim))
+            sim.run(20.0)
+            return [
+                e.canonical_json() for e in sink.events
+                if e.kind == EventKind.WATCHDOG_TRIP
+            ]
+
+        first = run_once()
+        second = run_once()
+        assert first, "expected watchdog.trip events"
+        payload = json.loads(first[0])["data"]
+        assert payload["check"] == "container_conservation"
+        assert payload["leaked"][0][0] == "leak-1"
+        assert first == second
+
+    def test_trips_counted_in_metrics(self, isolate_obs):
+        metrics = Metrics()
+        set_metrics(metrics)
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+        sim.engine.schedule_at(7.0, lambda _e: _leak_container(sim))
+        sim.run(20.0)
+        counts = metrics.snapshot()["counters"]["watchdog_trips_total"]
+        assert counts["check=container_conservation"] >= 1
+
+
+class TestAbortMode:
+    def test_abort_raises_watchdog_error(self, isolate_obs):
+        watchdog = Watchdog(mode="abort")
+        sim = _make_sim(watchdog)
+        sim.engine.schedule_at(7.0, lambda _e: _leak_container(sim))
+        with pytest.raises(WatchdogError) as excinfo:
+            sim.run(20.0)
+        assert excinfo.value.trip.time == 7.0
+        assert "leak-1" in str(excinfo.value)
+
+    def test_cli_abort_exits_nonzero(self, tmp_path):
+        """End-to-end: a corrupted simulate run under --watchdog abort must
+        exit non-zero and print the diagnosis (run in a subprocess so the
+        exit code is the real contract)."""
+        script = tmp_path / "corrupt_run.py"
+        script.write_text(
+            """
+import sys
+from repro.cli import main
+import repro.sim.cluster_sim as cluster_sim
+
+original_init = cluster_sim.ClusterSimulation.__init__
+
+def corrupting_init(self, *args, **kwargs):
+    original_init(self, *args, **kwargs)
+    from repro.cluster.node import Allocation
+    from repro.cluster.resources import Resource
+    def corrupt(_engine):
+        node = self.state.topology.node(self.state.topology.node_ids()[0])
+        node.allocate(Allocation("leak-1", Resource(memory_mb=256, vcores=1),
+                                 frozenset(), "ghost"))
+    self.engine.schedule_at(5.0, corrupt)
+
+cluster_sim.ClusterSimulation.__init__ = corrupting_init
+sys.exit(main(["simulate", "--nodes", "8", "--horizon", "15",
+               "--lras", "1", "--tasks", "5", "--watchdog", "abort"]))
+"""
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 1
+        assert "watchdog tripped" in result.stderr
+        assert "leak-1" in result.stderr
+
+    def test_warn_mode_keeps_running(self, isolate_obs):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+        sim.engine.schedule_at(7.0, lambda _e: _leak_container(sim))
+        final = sim.run(20.0)
+        assert final == 20.0
+        assert watchdog.trips
+
+
+class TestNodeConservation:
+    def test_direct_free_tamper_detected(self, isolate_obs):
+        watchdog = Watchdog(mode="warn")
+        sim = _make_sim(watchdog)
+
+        def tamper(_engine):
+            node = sim.state.topology.node(sim.state.topology.node_ids()[1])
+            node._free = Resource(
+                memory_mb=node._free.memory_mb - 512, vcores=node._free.vcores
+            )
+
+        sim.engine.schedule_at(6.0, tamper)
+        sim.run(20.0)
+        trip = next(
+            t for t in watchdog.trips if t.check == "node_conservation"
+        )
+        assert trip.time == 6.0
+        assert trip.diagnosis["free_memory_mb"] == (
+            trip.diagnosis["expected_free_memory_mb"] - 512
+        )
+
+
+class TestEnvConstruction:
+    def test_unset_and_falsy_disable(self):
+        for value in ({}, {"MEDEA_WATCHDOG": ""}, {"MEDEA_WATCHDOG": "0"},
+                      {"MEDEA_WATCHDOG": "off"}):
+            assert watchdog_from_env(value) is None
+
+    def test_modes(self):
+        assert watchdog_from_env({"MEDEA_WATCHDOG": "1"}).mode == "warn"
+        assert watchdog_from_env({"MEDEA_WATCHDOG": "warn"}).mode == "warn"
+        assert watchdog_from_env({"MEDEA_WATCHDOG": "abort"}).mode == "abort"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog(mode="panic")
+
+    def test_sim_defaults_to_no_watchdog(self, isolate_obs, monkeypatch):
+        monkeypatch.delenv("MEDEA_WATCHDOG", raising=False)
+        sim = _make_sim(None)
+        assert sim.watchdog is None
