@@ -36,7 +36,8 @@ class Node:
     """
 
     __slots__ = ("node_id", "rack", "capacity", "static_tags", "_free",
-                 "_allocations", "_dynamic_tags", "available")
+                 "_allocations", "_dynamic_tags", "_available", "_listeners",
+                 "_alloc_hooks", "_release_hooks", "_avail_hooks")
 
     def __init__(
         self,
@@ -53,7 +54,49 @@ class Node:
         self._allocations: dict[str, Allocation] = {}
         self._dynamic_tags = TagMultiset()
         #: False while the machine is down / being upgraded (failure replay).
-        self.available = True
+        self._available = True
+        #: Mutation observers (struct-of-arrays mirror, candidate index).
+        #: Notified on every allocate / release / availability flip so
+        #: derived structures can never drift, no matter which code path
+        #: mutates the node.  Hooks are resolved once at registration to
+        #: keep the per-allocation notification cost to a plain call.
+        self._listeners: list = []
+        self._alloc_hooks: tuple = ()
+        self._release_hooks: tuple = ()
+        self._avail_hooks: tuple = ()
+
+    # -- mutation observers ---------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register a mutation observer.  A listener may implement any of
+        ``_node_allocated(node, allocation)``,
+        ``_node_released(node, allocation)`` and
+        ``_node_availability(node, up)``; missing hooks are skipped."""
+        if listener in self._listeners:
+            return
+        self._listeners.append(listener)
+        alloc = getattr(listener, "_node_allocated", None)
+        if alloc is not None:
+            self._alloc_hooks = self._alloc_hooks + (alloc,)
+        release = getattr(listener, "_node_released", None)
+        if release is not None:
+            self._release_hooks = self._release_hooks + (release,)
+        avail = getattr(listener, "_node_availability", None)
+        if avail is not None:
+            self._avail_hooks = self._avail_hooks + (avail,)
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    @available.setter
+    def available(self, up: bool) -> None:
+        up = bool(up)
+        if up == self._available:
+            return
+        self._available = up
+        for hook in self._avail_hooks:
+            hook(self, up)
 
     # -- resources ----------------------------------------------------------
 
@@ -81,6 +124,8 @@ class Node:
         self._allocations[allocation.container_id] = allocation
         self._free = self._free - allocation.resource
         self._dynamic_tags.add_all(allocation.tags)
+        for hook in self._alloc_hooks:
+            hook(self, allocation)
 
     def release(self, container_id: str) -> Allocation:
         try:
@@ -89,6 +134,8 @@ class Node:
             raise KeyError(f"container {container_id} not on node {self.node_id}") from None
         self._free = self._free + allocation.resource
         self._dynamic_tags.remove_all(allocation.tags)
+        for hook in self._release_hooks:
+            hook(self, allocation)
         return allocation
 
     @property

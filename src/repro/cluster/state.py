@@ -4,23 +4,123 @@ This is the single source of truth both schedulers read (Fig. 4's *cluster
 state* component).  It maintains, incrementally, the per-node-set tag
 cardinalities γ𝒮 for every registered node group so that constraint
 evaluation inside scheduling loops is O(#groups) instead of O(cluster size).
+
+Two interchangeable state backends share the exact same API:
+
+``object``
+    The original dict-of-:class:`Node` representation; every cluster-wide
+    metric is a Python loop over the topology.
+
+``array`` (default when numpy is importable)
+    Mirrors per-node capacity / free / availability into numpy
+    struct-of-arrays (:class:`_StateArrays`), keyed by a stable node-index
+    map in topology order, and computes ``total_free`` / utilisation /
+    fragmentation / rack statistics vectorised.  The mirror is maintained
+    through :meth:`Node.add_listener` hooks, so it stays consistent no
+    matter which code path mutates a node.  All integer aggregates are
+    exact (int64), so fingerprints and canonical traces are byte-for-byte
+    identical to the object backend; only ``memory_utilization_cv`` may
+    differ in the last float ulps (different summation order).
+
+Select with ``ClusterState(topology, backend=...)`` or the
+``MEDEA_STATE_BACKEND`` environment variable.  Derived metrics are memoised
+on a state *version counter* that every allocate / release / availability
+flip bumps, so repeated reads within one tick (timeline sink, watchdog,
+state-hash event) cost one computation.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import Counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+try:  # numpy backs the "array" backend; without it we degrade to "object".
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 from ..tags import TagMultiset
 
 if TYPE_CHECKING:  # import only for annotations: core depends on cluster
     from ..core.constraints import PlacementConstraint
+    from .index import CandidateIndex
 from .node import Allocation, Node
 from .resources import Resource
 from .topology import ClusterTopology
 
 __all__ = ["ClusterState", "PlacedContainer", "placement_fingerprint"]
+
+
+def _resolve_backend(backend: str | None) -> str:
+    """Pick the state backend: explicit arg > env > numpy availability."""
+    if backend is None:
+        backend = os.environ.get("MEDEA_STATE_BACKEND") or "array"
+    if backend not in ("object", "array"):
+        raise ValueError(
+            f"unknown state backend {backend!r} (choose 'object' or 'array')"
+        )
+    if backend == "array" and _np is None:
+        backend = "object"
+    return backend
+
+
+class _StateArrays:
+    """Struct-of-arrays mirror of the per-node scalar state.
+
+    One row per node, in topology insertion order (the *stable node-index
+    map*); int64 throughout so sums are exact and aggregate metrics match
+    the object backend bit-for-bit.  Rack membership is pre-encoded into
+    integer codes (sorted rack-name order) so per-rack reductions are one
+    ``bincount``.
+    """
+
+    __slots__ = (
+        "index_of", "node_ids", "cap_mem", "cap_vc", "free_mem", "free_vc",
+        "avail", "rack_names", "rack_codes", "rack_cap_mem", "total_cap_mem",
+    )
+
+    def __init__(self, topology: ClusterTopology) -> None:
+        nodes = list(topology)
+        n = len(nodes)
+        self.index_of: dict[str, int] = {
+            node.node_id: i for i, node in enumerate(nodes)
+        }
+        self.node_ids: list[str] = [node.node_id for node in nodes]
+        self.cap_mem = _np.fromiter(
+            (nd.capacity.memory_mb for nd in nodes), dtype=_np.int64, count=n
+        )
+        self.cap_vc = _np.fromiter(
+            (nd.capacity.vcores for nd in nodes), dtype=_np.int64, count=n
+        )
+        self.free_mem = _np.fromiter(
+            (nd.free.memory_mb for nd in nodes), dtype=_np.int64, count=n
+        )
+        self.free_vc = _np.fromiter(
+            (nd.free.vcores for nd in nodes), dtype=_np.int64, count=n
+        )
+        self.avail = _np.fromiter(
+            (nd.available for nd in nodes), dtype=bool, count=n
+        )
+        self.rack_names: list[str] = sorted({nd.rack for nd in nodes})
+        code_of = {rack: i for i, rack in enumerate(self.rack_names)}
+        self.rack_codes = _np.fromiter(
+            (code_of[nd.rack] for nd in nodes), dtype=_np.int64, count=n
+        )
+        # Rack capacity never changes; the bincount weights path yields
+        # float64 holding exact integers (values ≪ 2^53).
+        self.rack_cap_mem = _np.bincount(
+            self.rack_codes, weights=self.cap_mem,
+            minlength=len(self.rack_names),
+        )
+        self.total_cap_mem = int(self.cap_mem.sum())
+
+    def refresh_free(self, node: Node) -> None:
+        i = self.index_of[node.node_id]
+        free = node.free
+        self.free_mem[i] = free.memory_mb
+        self.free_vc[i] = free.vcores
 
 
 def placement_fingerprint(
@@ -54,12 +154,93 @@ class PlacedContainer:
 class ClusterState:
     """Mutable cluster-wide allocation state over a fixed topology."""
 
-    def __init__(self, topology: ClusterTopology) -> None:
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        *,
+        backend: str | None = None,
+        index_bucket_mb: int | None = None,
+    ) -> None:
         self.topology = topology
         self._containers: dict[str, PlacedContainer] = {}
         # (group name, node-set index) -> Counter of tags, maintained
         # incrementally on allocate/release.
         self._group_tags: dict[tuple[str, int], Counter[str]] = {}
+        self.backend = _resolve_backend(backend)
+        if index_bucket_mb is None:
+            index_bucket_mb = int(os.environ.get("MEDEA_INDEX_BUCKET_MB", "2048"))
+        if index_bucket_mb <= 0:
+            raise ValueError("index_bucket_mb must be positive")
+        #: Free-memory bucket width used by :meth:`candidate_index`.
+        self.index_bucket_mb = index_bucket_mb
+        #: Bumped on every node mutation; memoised metrics key off it.
+        self._version = 0
+        self._memo: dict = {}
+        self._memo_version = -1
+        self._down: set[str] = {
+            n.node_id for n in topology if not n.available
+        }
+        self._arrays: _StateArrays | None = (
+            _StateArrays(topology) if self.backend == "array" else None
+        )
+        self._candidate_index: CandidateIndex | None = None
+        for node in topology:
+            node.add_listener(self)
+
+    # -- mutation observation -------------------------------------------------
+    #
+    # Registered on every node so derived structures (version counter, down
+    # set, struct-of-arrays mirror) track *any* mutation path, including
+    # tests driving Node.allocate directly.
+
+    def _node_allocated(self, node: Node, allocation: Allocation) -> None:
+        self._version += 1
+        if self._arrays is not None:
+            self._arrays.refresh_free(node)
+
+    def _node_released(self, node: Node, allocation: Allocation) -> None:
+        self._version += 1
+        if self._arrays is not None:
+            self._arrays.refresh_free(node)
+
+    def _node_availability(self, node: Node, up: bool) -> None:
+        self._version += 1
+        if up:
+            self._down.discard(node.node_id)
+        else:
+            self._down.add(node.node_id)
+        if self._arrays is not None:
+            self._arrays.avail[self._arrays.index_of[node.node_id]] = up
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (allocate / release / availability)."""
+        return self._version
+
+    @property
+    def arrays(self) -> _StateArrays | None:
+        """The struct-of-arrays mirror, or ``None`` on the object backend."""
+        return self._arrays
+
+    def candidate_index(self) -> CandidateIndex:
+        """The incrementally-maintained candidate store over this state.
+
+        Built lazily on first use and kept consistent through node mutation
+        hooks from then on; shared by every scheduler reading this state.
+        """
+        if self._candidate_index is None:
+            from .index import CandidateIndex
+
+            self._candidate_index = CandidateIndex(
+                self.topology, bucket_mb=self.index_bucket_mb
+            )
+        return self._candidate_index
+
+    def _memo_table(self) -> dict:
+        if self._memo_version != self._version:
+            self._memo.clear()
+            self._memo_version = self._version
+        return self._memo
 
     # -- allocation lifecycle --------------------------------------------------
 
@@ -133,11 +314,28 @@ class ClusterState:
         return self.topology.node(node_id).free
 
     def total_free(self) -> Resource:
-        total = Resource(0, 0)
+        memo = self._memo_table()
+        total = memo.get("total_free")
+        if total is None:
+            total = memo["total_free"] = self._compute_total_free()
+        return total
+
+    def _compute_total_free(self) -> Resource:
+        arrays = self._arrays
+        if arrays is not None:
+            avail = arrays.avail
+            return Resource(
+                int(arrays.free_mem[avail].sum()),
+                int(arrays.free_vc[avail].sum()),
+            )
+        total_mem = 0
+        total_vc = 0
         for node in self.topology:
             if node.available:
-                total = total + node.free
-        return total
+                free = node.free
+                total_mem += free.memory_mb
+                total_vc += free.vcores
+        return Resource(total_mem, total_vc)
 
     # -- tag cardinality ------------------------------------------------------
 
@@ -299,10 +497,37 @@ class ClusterState:
         return total
 
     # -- cluster-wide metrics ---------------------------------------------------
+    #
+    # Every metric is memoised on the state version counter (the timeline
+    # sink reads several per heartbeat) and dispatches to a vectorised
+    # computation when the struct-of-arrays mirror is live.  The private
+    # ``_compute_*`` functions are the uncached paths; regression tests
+    # assert cached and direct values agree.
 
     def fragmented_node_fraction(self, threshold: Resource = Resource(2048, 1)) -> float:
         """Fraction of nodes with less free than ``threshold`` but not fully
         utilised (paper §7.4's fragmentation definition)."""
+        memo = self._memo_table()
+        key = ("frag", threshold)
+        value = memo.get(key)
+        if value is None:
+            value = memo[key] = self._compute_fragmented_node_fraction(threshold)
+        return value
+
+    def _compute_fragmented_node_fraction(self, threshold: Resource) -> float:
+        arrays = self._arrays
+        if arrays is not None:
+            avail = arrays.avail
+            total = int(avail.sum())
+            if total == 0:
+                return 0.0
+            free_mem, free_vc = arrays.free_mem, arrays.free_vc
+            fully_used = (free_mem == 0) & (free_vc == 0)
+            too_small = (free_mem < threshold.memory_mb) | (
+                free_vc < threshold.vcores
+            )
+            fragmented = int((avail & ~fully_used & too_small).sum())
+            return fragmented / total
         nodes = [n for n in self.topology if n.available]
         if not nodes:
             return 0.0
@@ -312,6 +537,30 @@ class ClusterState:
     def memory_utilization_cv(self) -> float:
         """Coefficient of variation of per-node memory utilisation — the
         paper's load-imbalance proxy (Fig. 10b)."""
+        memo = self._memo_table()
+        value = memo.get("cv")
+        if value is None:
+            value = memo["cv"] = self._compute_memory_utilization_cv()
+        return value
+
+    def _compute_memory_utilization_cv(self) -> float:
+        arrays = self._arrays
+        if arrays is not None:
+            avail = arrays.avail
+            cap = arrays.cap_mem[avail]
+            if cap.size == 0:
+                return 0.0
+            free = arrays.free_mem[avail]
+            ratio = _np.divide(
+                free, cap, out=_np.zeros(cap.shape, dtype=_np.float64),
+                where=cap > 0,
+            )
+            utils = _np.where(cap > 0, 1.0 - ratio, 0.0)
+            mean = float(utils.mean())
+            if mean == 0:
+                return 0.0
+            variance = float(((utils - mean) ** 2).mean())
+            return (variance ** 0.5) / mean
         utils = [n.memory_utilization() for n in self.topology if n.available]
         if not utils:
             return 0.0
@@ -323,6 +572,27 @@ class ClusterState:
 
     def rack_memory_utilization(self) -> dict[str, float]:
         """Per-rack memory utilisation (rack id → used/capacity)."""
+        memo = self._memo_table()
+        value = memo.get("rack_util")
+        if value is None:
+            value = memo["rack_util"] = self._compute_rack_memory_utilization()
+        return dict(value)
+
+    def _compute_rack_memory_utilization(self) -> dict[str, float]:
+        arrays = self._arrays
+        if arrays is not None:
+            used_weights = _np.where(
+                arrays.avail, arrays.cap_mem - arrays.free_mem, 0
+            )
+            used_by_rack = _np.bincount(
+                arrays.rack_codes, weights=used_weights,
+                minlength=len(arrays.rack_names),
+            )
+            return {
+                rack: float(used_by_rack[i] / arrays.rack_cap_mem[i])
+                for i, rack in enumerate(arrays.rack_names)
+                if arrays.rack_cap_mem[i] > 0
+            }
         used: dict[str, float] = {}
         capacity: dict[str, float] = {}
         for node in self.topology:
@@ -336,19 +606,40 @@ class ClusterState:
         }
 
     def down_node_ids(self) -> list[str]:
-        """Ids of currently unavailable nodes, sorted."""
-        return sorted(n.node_id for n in self.topology if not n.available)
+        """Ids of currently unavailable nodes, sorted.
+
+        Served from the incrementally-maintained down set — O(#down), not
+        O(cluster size)."""
+        return sorted(self._down)
 
     def fingerprint(self) -> str:
         """Digest of the current placement map and down-node set (see
         :func:`placement_fingerprint`); recorded in ``sim.state_hash``
         events and recomputed by the trace replayer."""
-        return placement_fingerprint(
-            {cid: placed.node_id for cid, placed in self._containers.items()},
-            self.down_node_ids(),
-        )
+        memo = self._memo_table()
+        value = memo.get("fingerprint")
+        if value is None:
+            value = memo["fingerprint"] = placement_fingerprint(
+                {cid: placed.node_id for cid, placed in self._containers.items()},
+                self.down_node_ids(),
+            )
+        return value
 
     def cluster_memory_utilization(self) -> float:
+        memo = self._memo_table()
+        value = memo.get("util")
+        if value is None:
+            value = memo["util"] = self._compute_cluster_memory_utilization()
+        return value
+
+    def _compute_cluster_memory_utilization(self) -> float:
+        arrays = self._arrays
+        if arrays is not None:
+            total = arrays.total_cap_mem
+            if total == 0:
+                return 0.0
+            used = total - int(arrays.free_mem[arrays.avail].sum())
+            return used / total
         total = self.topology.total_capacity()
         if total.memory_mb == 0:
             return 0.0

@@ -50,6 +50,9 @@ class ClusterTopology:
                 raise ValueError(f"duplicate node id {node.node_id}")
             self._nodes[node.node_id] = node
         self._groups: dict[str, NodeGroup] = {}
+        #: Bumped whenever the set of registered groups changes, so caches
+        #: keyed on group structure (constraint signatures) can invalidate.
+        self._groups_version = 0
         self._register_predefined_groups()
         # node_id -> group name -> list of set indices, for O(1) lookup of
         # "which node sets of group G contain node n".
@@ -81,6 +84,7 @@ class ClusterTopology:
                     raise KeyError(f"unknown node {node_id!r} in group {name!r}")
         group = NodeGroup(name, sets)
         self._groups[name] = group
+        self._groups_version += 1
         self._rebuild_membership()
         return group
 
@@ -123,6 +127,11 @@ class ClusterTopology:
 
     def group_names(self) -> list[str]:
         return sorted(self._groups)
+
+    @property
+    def groups_version(self) -> int:
+        """Monotone counter of group registrations (cache invalidation)."""
+        return self._groups_version
 
     def sets_of_group_containing(self, group_name: str, node_id: str) -> list[tuple[str, ...]]:
         """All node sets of ``group_name`` that include ``node_id``."""

@@ -34,6 +34,17 @@ class ConstraintManager:
         self._topology = topology
         self._simple: dict[str, list[PlacementConstraint]] = {}
         self._compound: dict[str, list[CompoundConstraint]] = {}
+        # Lazily-built view of the active constraints plus a subject-tag
+        # index over it (tag -> positions in the active list); rebuilt on
+        # the next query after any registration change.  Violation auditing
+        # walks containers × constraints, and the index cuts the inner loop
+        # to the constraints whose subject can possibly match.
+        self._active_cache: list[PlacementConstraint] | None = None
+        self._subject_buckets: dict[str, list[int]] | None = None
+
+    def _invalidate(self) -> None:
+        self._active_cache = None
+        self._subject_buckets = None
 
     # -- validation ---------------------------------------------------------
 
@@ -63,18 +74,21 @@ class ConstraintManager:
         self._validate_all(request.constraints, request.compound_constraints)
         self._simple[request.app_id] = list(request.constraints)
         self._compound[request.app_id] = list(request.compound_constraints)
+        self._invalidate()
 
     def register_operator_constraint(self, constraint: PlacementConstraint) -> None:
         self.validate(constraint)
         if constraint.origin != "operator":
             raise ValueError("operator constraints must carry origin='operator'")
         self._simple.setdefault(self.OPERATOR, []).append(constraint)
+        self._invalidate()
 
     def unregister_application(self, app_id: str) -> None:
         """Drop an application's constraints when it finishes (tags leave the
         node tag sets via container release; constraints leave here)."""
         self._simple.pop(app_id, None)
         self._compound.pop(app_id, None)
+        self._invalidate()
 
     # -- queries --------------------------------------------------------------
 
@@ -91,10 +105,47 @@ class ConstraintManager:
         """All simple constraints currently in force, across every registered
         application and the operator, with operator conflict-overrides
         applied (see :meth:`effective_constraints`)."""
-        out: list[PlacementConstraint] = []
-        for constraints in self._simple.values():
-            out.extend(constraints)
-        return self._apply_operator_overrides(out)
+        return list(self._active())
+
+    def _active(self) -> list[PlacementConstraint]:
+        if self._active_cache is None:
+            out: list[PlacementConstraint] = []
+            for constraints in self._simple.values():
+                out.extend(constraints)
+            self._active_cache = self._apply_operator_overrides(out)
+        return self._active_cache
+
+    def constraints_applying_to(
+        self, tags: frozenset[str]
+    ) -> list[PlacementConstraint]:
+        """Active constraints whose subject matches ``tags``, in active-list
+        order — exactly ``[c for c in self.active_constraints() if
+        c.applies_to(tags)]``, served from the subject-tag index.
+
+        Each constraint is bucketed under one representative subject tag
+        (plus a catch-all bucket for empty subjects), so the query touches
+        only buckets named by the container's own tags; the candidates are
+        then filtered with the precise subject match.  Preserving the
+        active-list order keeps downstream float accumulation (violation
+        extents) byte-identical to the unindexed scan.
+        """
+        active = self._active()
+        if self._subject_buckets is None:
+            buckets: dict[str, list[int]] = {}
+            for position, constraint in enumerate(active):
+                subject_tags = constraint.subject.tags
+                representative = min(subject_tags) if subject_tags else ""
+                buckets.setdefault(representative, []).append(position)
+            self._subject_buckets = buckets
+        buckets = self._subject_buckets
+        positions: set[int] = set(buckets.get("", ()))
+        for tag in tags:
+            positions.update(buckets.get(tag, ()))
+        return [
+            active[position]
+            for position in sorted(positions)
+            if active[position].applies_to(tags)
+        ]
 
     def active_compound_constraints(self) -> list[CompoundConstraint]:
         out: list[CompoundConstraint] = []

@@ -42,6 +42,7 @@ from .scheduler import (
     LRAScheduler,
     PlacementResult,
     ScratchPlacements,
+    feasible_nodes,
 )
 
 __all__ = [
@@ -209,8 +210,20 @@ class GreedyScheduler(LRAScheduler):
         When ``decision`` is given, every pruned/penalised candidate is
         recorded into it (capacity misfits, and constraint-violating nodes
         attributed to the specific responsible constraints).
+
+        Selection runs through the candidate index (the audited path keeps
+        the full scan, since the audit records every pruned node): capacity
+        feasibility comes from the free-capacity buckets, and the violation
+        delta is evaluated once per *constraint signature class* — nodes
+        with identical (group, node-set) memberships necessarily score the
+        same delta, because the γ counters the extent reads are per
+        (group, set).  Both paths pick the identical node: candidates are
+        enumerated in topology order with the same strict-``<`` first-wins
+        tie-break.
         """
         relevant = self._relevant(constraints, container.tags)
+        if decision is None:
+            return self._pick_node_indexed(container, relevant, state)
         best_node: str | None = None
         best_key: tuple[float, float] | None = None
         for node in state.topology:
@@ -244,6 +257,49 @@ class GreedyScheduler(LRAScheduler):
                 "free_memory_mb": -best_key[1],
             }
         return best_node
+
+    def _pick_node_indexed(
+        self,
+        container: ContainerRequest,
+        relevant: Sequence[PlacementConstraint],
+        state: ClusterState,
+    ) -> str | None:
+        index = state.candidate_index()
+        fit = index.fit_node_indices(container.resource)
+        if not fit:
+            return None
+        nodes = index.nodes
+        node_ids = index.node_ids
+        if not relevant:
+            # No constraint interacts with this container: the delta is 0
+            # everywhere and the scan reduces to "most free memory wins".
+            best_i = fit[0]
+            best_mem = nodes[best_i].free.memory_mb
+            for i in fit[1:]:
+                mem = nodes[i].free.memory_mb
+                if mem > best_mem:
+                    best_mem = mem
+                    best_i = i
+            return node_ids[best_i]
+        groups = tuple(sorted({c.node_group for c in relevant}))
+        signatures = index.signatures(groups)
+        deltas: dict[tuple, float] = {}
+        best_i: int | None = None
+        best_key: tuple[float, int] | None = None
+        for i in fit:
+            signature = signatures[i]
+            delta = deltas.get(signature)
+            if delta is None:
+                delta = state.placement_delta_violations(
+                    relevant, node_ids[i], container.tags
+                )
+                deltas[signature] = delta
+            key = (delta, -nodes[i].free.memory_mb)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_i = i
+        assert best_i is not None
+        return node_ids[best_i]
 
     def _audit_violating_candidate(
         self,
@@ -428,13 +484,33 @@ class NodeCandidatesScheduler(GreedyScheduler):
         )
 
     def _compute_candidates(self, container: ContainerRequest) -> set[str]:
+        """Initial violation-free candidate set, via the candidate index:
+        capacity feasibility from the free-capacity buckets, and the
+        delta==0 test evaluated once per constraint signature class (same
+        argument as :meth:`GreedyScheduler._pick_node_indexed`)."""
         assert self._state is not None
+        state = self._state
         relevant = self._relevant(self._constraints, container.tags)
-        return {
-            node.node_id
-            for node in self._state.topology
-            if self._is_candidate(container, node.node_id, relevant)
-        }
+        index = state.candidate_index()
+        fit = index.fit_node_indices(container.resource)
+        node_ids = index.node_ids
+        if not relevant:
+            return {node_ids[i] for i in fit}
+        groups = tuple(sorted({c.node_group for c in relevant}))
+        signatures = index.signatures(groups)
+        deltas: dict[tuple, float] = {}
+        out: set[str] = set()
+        for i in fit:
+            signature = signatures[i]
+            delta = deltas.get(signature)
+            if delta is None:
+                delta = state.placement_delta_violations(
+                    relevant, node_ids[i], container.tags
+                )
+                deltas[signature] = delta
+            if delta == 0:
+                out.add(node_ids[i])
+        return out
 
 
 class ConstraintUnawareScheduler(LRAScheduler):
@@ -465,11 +541,7 @@ class ConstraintUnawareScheduler(LRAScheduler):
                 for container in request.containers:
                     if request.app_id in failed:
                         break
-                    candidates = [
-                        node.node_id
-                        for node in state.topology
-                        if node.can_fit(container.resource)
-                    ]
+                    candidates = feasible_nodes(state, container.resource)
                     if not candidates:
                         failed.add(request.app_id)
                         scratch.unplace_app(request.app_id)

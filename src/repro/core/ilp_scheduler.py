@@ -216,11 +216,16 @@ class IlpScheduler(LRAScheduler):
                 target_tags.update(tc.c_tag.tags)
         extra_budget = max(4, limit // 4)
         added = 0
+        # The candidate index answers "which nodes host these tags" without
+        # scanning every node's tag multiset; iteration stays over ``nodes``
+        # (topology order) so the pool is unchanged.
+        tagged = state.candidate_index().nodes_with_any_tag(
+            target_tags, dynamic_only=True
+        )
         for node in nodes:
             if added >= extra_budget:
                 break
-            dyn = node.dynamic_tags()
-            if any(tag in dyn for tag in target_tags) and node.node_id not in seen:
+            if node.node_id in tagged and node.node_id not in seen:
                 push(node.node_id)
                 added += 1
 

@@ -373,10 +373,80 @@ class MedeaScheduler:
         return self.task_scheduler.handle_heartbeat(node_id, now)
 
     def heartbeat_all(self, now: float):
+        """Heartbeat every available node, in topology order.
+
+        Three equivalence-preserving fast paths keep this O(cluster size)
+        loop off the hot path at 10k nodes:
+
+        * nothing queued → return immediately (a heartbeat with empty
+          queues is a strict no-op);
+        * once the queues drain mid-loop, the remaining heartbeats are
+          skipped for the same reason;
+        * when the task scheduler reports the skip is side-effect-free
+          (no delay scheduling in play), nodes whose free vector is below
+          the element-wise minimum queue-head demand are skipped — no head
+          can fit there, so their heartbeat could not allocate.  With the
+          array state backend the skip test is one vectorised compare over
+          the free matrices; the bound is re-derived whenever an
+          allocation changes the queue heads.
+        """
         allocations = []
-        for node in self.state.topology:
-            if node.available:
-                allocations.extend(self.heartbeat(node.node_id, now))
+        task_scheduler = self.task_scheduler
+        if task_scheduler.pending_tasks() == 0:
+            return allocations
+        state = self.state
+        if not task_scheduler.demand_bound_safe():
+            for node in state.topology:
+                if node.available:
+                    allocs = self.heartbeat(node.node_id, now)
+                    if allocs:
+                        allocations.extend(allocs)
+                        if task_scheduler.pending_tasks() == 0:
+                            break
+            return allocations
+        bound = task_scheduler.min_head_demand()
+        arrays = state.arrays
+        if arrays is None:
+            for node in state.topology:
+                if not node.available:
+                    continue
+                free = node.free
+                if free.memory_mb < bound[0] or free.vcores < bound[1]:
+                    continue
+                allocs = self.heartbeat(node.node_id, now)
+                if allocs:
+                    allocations.extend(allocs)
+                    if task_scheduler.pending_tasks() == 0:
+                        break
+                    bound = task_scheduler.min_head_demand()
+            return allocations
+        node_ids = arrays.node_ids
+        total = len(node_ids)
+        start = 0
+        while start < total:
+            mask = (
+                arrays.avail[start:]
+                & (arrays.free_mem[start:] >= bound[0])
+                & (arrays.free_vc[start:] >= bound[1])
+            )
+            rescan = False
+            for offset in mask.nonzero()[0]:
+                idx = start + int(offset)
+                allocs = self.heartbeat(node_ids[idx], now)
+                if allocs:
+                    allocations.extend(allocs)
+                    if task_scheduler.pending_tasks() == 0:
+                        return allocations
+                    new_bound = task_scheduler.min_head_demand()
+                    if new_bound != bound:
+                        # The queue heads changed; nodes after this one
+                        # must be re-screened against the new bound.
+                        bound = new_bound
+                        start = idx + 1
+                        rescan = True
+                        break
+            if not rescan:
+                break
         return allocations
 
     # -- introspection ---------------------------------------------------------------

@@ -33,7 +33,21 @@ __all__ = [
     "PlacementResult",
     "LRAScheduler",
     "ScratchPlacements",
+    "feasible_nodes",
 ]
+
+
+def feasible_nodes(state: ClusterState, demand: Resource) -> list[str]:
+    """Ids of available nodes that can fit ``demand``, in topology order.
+
+    The shared candidate-enumeration entry point for LRA schedulers: served
+    by the state's incrementally-maintained
+    :class:`~repro.cluster.index.CandidateIndex` (free-capacity buckets)
+    instead of a full topology scan, but returning exactly the list the
+    scan ``[n.node_id for n in state.topology if n.can_fit(demand)]``
+    would — order included — so selection tie-breaks are unchanged.
+    """
+    return state.candidate_index().fit_node_ids(demand)
 
 
 @dataclass(frozen=True)

@@ -39,12 +39,106 @@ __all__ = ["ClusterSimulation", "SimConfig"]
 
 @dataclass(frozen=True)
 class SimConfig:
-    """Timing knobs for a simulation run."""
+    """Timing and scale knobs for a simulation run."""
 
     scheduling_interval_s: float = 10.0
     heartbeat_interval_s: float = 1.0
     #: Hard stop for periodic activity; ``run()`` may stop earlier.
     horizon_s: float = 3600.0
+    #: Event-engine mode for the periodic series.  ``"periodic"`` fires
+    #: heartbeats and scheduling cycles every interval until the horizon;
+    #: ``"ondemand"`` suspends a series while it has no work (no queued
+    #: tasks / no pending LRAs) and resumes it — on the same time grid —
+    #: when work arrives, so idle heartbeats cost nothing.  Watchdog and
+    #: tracing hooks ride the ticks that actually fire.
+    engine: str = "periodic"
+    #: Cluster-state backend (``"object"`` | ``"array"``); ``None`` defers
+    #: to ``MEDEA_STATE_BACKEND`` / the default.
+    backend: str | None = None
+    #: Free-memory bucket width (MB) for the candidate index; ``None``
+    #: defers to ``MEDEA_INDEX_BUCKET_MB`` / the default.
+    index_bucket_mb: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("periodic", "ondemand"):
+            raise ValueError(
+                f"unknown engine mode {self.engine!r} "
+                "(choose 'periodic' or 'ondemand')"
+            )
+
+
+class _OnDemandSeries:
+    """A periodic series that skips the work of ticks with no demand.
+
+    Duck-types :class:`~repro.sim.engine.PeriodicHandle` (``cancel()``,
+    ``cancelled``, ``fired``, ``active``).  The series stays *scheduled*
+    exactly like an uninterrupted ``schedule_periodic`` series — every
+    grid tick ``k * interval`` dispatches, and tick ``k+1``'s event is
+    created during tick ``k``'s dispatch.  Keeping the event-creation
+    points identical is what makes on-demand mode byte-equivalent to the
+    periodic engine: at equal timestamps the heap breaks ties by creation
+    sequence, so a tick resumed any other way (e.g. scheduled lazily when
+    work arrives) can invert its order against same-time events such as
+    task completions, and placements diverge.
+
+    What *is* skipped is the callback: when ``demand()`` is false the tick
+    reduces to one heap operation and a counter check — no span, no state
+    fingerprint, no watchdog sweep.  Those per-tick costs, not the heap,
+    are what dominate idle time at 10k nodes.  ``fired`` counts only the
+    ticks that ran the callback; ``ticks`` counts every grid point.
+    """
+
+    __slots__ = (
+        "_engine", "_interval", "_until", "_callback", "_demand",
+        "cancelled", "fired", "ticks", "_event",
+    )
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        callback: Callable[[SimulationEngine], None],
+        *,
+        demand: Callable[[], bool],
+        until: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._engine = engine
+        self._interval = interval
+        self._until = until
+        self._callback = callback
+        self._demand = demand
+        self.cancelled = False
+        #: Ticks whose callback actually ran (PeriodicHandle protocol).
+        self.fired = 0
+        #: Grid ticks dispatched, including skipped ones.
+        self.ticks = 0
+        self._event = None
+        if until is None or interval <= until:
+            self._event = engine.schedule_at(interval, self._tick)
+
+    def _tick(self, engine: SimulationEngine) -> None:
+        self._event = None
+        if self.cancelled:
+            return
+        self.ticks += 1
+        if self._demand():
+            self.fired += 1
+            self._callback(engine)
+        next_time = (self.ticks + 1) * self._interval
+        if not self.cancelled and (self._until is None or next_time <= self._until):
+            self._event = engine.schedule_at(next_time, self._tick)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancelled = True
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and self._event is not None
 
 
 class ClusterSimulation:
@@ -63,7 +157,11 @@ class ClusterSimulation:
         watchdog: Watchdog | None = None,
     ) -> None:
         self.config = config or SimConfig()
-        self.state = ClusterState(topology)
+        self.state = ClusterState(
+            topology,
+            backend=self.config.backend,
+            index_bucket_mb=self.config.index_bucket_mb,
+        )
         self._tracer = tracer
         self._metrics = metrics
         self.task_scheduler = task_scheduler or CapacityScheduler(
@@ -104,6 +202,25 @@ class ClusterSimulation:
     # -- periodic machinery ------------------------------------------------------
 
     def _install_periodic_activity(self) -> None:
+        if self.config.engine == "ondemand":
+            # Same install order as the periodic branch below so the first
+            # ticks carry the same sequence numbers (observable when both
+            # series share a timestamp).
+            self.heartbeat_handle = _OnDemandSeries(
+                self.engine,
+                self.config.heartbeat_interval_s,
+                self._heartbeat_tick,
+                demand=lambda: self.task_scheduler.pending_tasks() > 0,
+                until=self.config.horizon_s,
+            )
+            self.cycle_handle = _OnDemandSeries(
+                self.engine,
+                self.config.scheduling_interval_s,
+                self._cycle_tick,
+                demand=lambda: self.medea.pending_lras() > 0,
+                until=self.config.horizon_s,
+            )
+            return
         self.heartbeat_handle = self.engine.schedule_periodic(
             self.config.heartbeat_interval_s,
             self._heartbeat_tick,
@@ -221,6 +338,14 @@ class ClusterSimulation:
         self.engine.schedule_at(
             at, lambda engine, t=task: self.medea.submit_task(t, now=engine.now)
         )
+
+    def submit_task_now(self, task: TaskRequest) -> None:
+        """Submit a task at the current simulated time, from *inside* an
+        engine callback.  Streaming arrival generators at scale use this
+        (one callback submits a whole batch) instead of pre-scheduling one
+        event per task, which would hold the entire workload in the heap."""
+        self._task_durations[task.task_id] = task.duration_s
+        self.medea.submit_task(task, now=self.engine.now)
 
     def set_node_availability(self, node_id: str, up: bool, *, at: float) -> None:
         """Replay one unavailability transition from a failure trace."""

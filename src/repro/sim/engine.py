@@ -122,7 +122,12 @@ class SimulationEngine:
                 return
             handle.fired += 1
             callback(engine)
-            next_time = engine.now + interval
+            # Multiplicative grid (first + k*interval), not an additive
+            # now+interval recurrence: tick times are a pure function of
+            # the fire count, so no float drift accumulates and suspended
+            # series (the on-demand engine mode) resume onto the exact
+            # timestamps an uninterrupted series would have used.
+            next_time = first + handle.fired * interval
             if not handle.cancelled and (until is None or next_time <= until):
                 handle._event = engine.schedule_at(next_time, tick)
 

@@ -73,6 +73,17 @@ class TaskBasedScheduler(abc.ABC):
         #: task_id -> queue name, kept until release for capacity refunds.
         self._task_queue: dict[str, str] = {}
         self.completed_allocations: list[TaskAllocation] = []
+        #: Total allocations ever made (kept even when ``retain_completed``
+        #: is off — million-lifecycle runs cannot afford the record list).
+        self.completed_count = 0
+        #: When False, :attr:`completed_allocations` stays empty and only
+        #: the counter/metrics channels record per-task outcomes.
+        self.retain_completed = True
+        #: Queued tasks carrying locality preferences.  While zero, skipping
+        #: a heartbeat that cannot possibly allocate (see
+        #: :meth:`min_head_demand`) is free of side effects; delay
+        #: scheduling makes skip counting observable otherwise.
+        self._pending_locality = 0
         #: Explicit tracer/metrics; ``None`` falls back to the ambient ones.
         self._tracer = tracer
         self._metrics = metrics
@@ -91,6 +102,8 @@ class TaskBasedScheduler(abc.ABC):
         self.queues.enqueue(task)
         self._submit_times[task.task_id] = now
         self._task_queue[task.task_id] = task.queue
+        if task.locality:
+            self._pending_locality += 1
         self.metrics.counter("task_submitted_total").inc(queue=task.queue)
         tracer = self.tracer
         if tracer.enabled:
@@ -102,6 +115,40 @@ class TaskBasedScheduler(abc.ABC):
 
     def pending_tasks(self) -> int:
         return self.queues.pending_count()
+
+    def demand_bound_safe(self) -> bool:
+        """True when the caller may skip heartbeats for nodes that cannot
+        fit :meth:`min_head_demand` without changing behaviour.  Requires
+        no queued locality preferences: delay scheduling counts skipped
+        offers inside ``_select_task``, so such heartbeats have observable
+        side effects even when nothing is allocated."""
+        return self._pending_locality == 0
+
+    def min_head_demand(self) -> tuple[int, int] | None:
+        """Element-wise minimum ``(memory_mb, vcores)`` over the heads of
+        the non-empty queues, or ``None`` when nothing is pending.
+
+        Every ``_select_task`` implementation only ever returns a queue
+        head, so a node whose free vector is below this bound in either
+        dimension cannot receive an allocation this heartbeat — a sound
+        (possibly loose) skip test for :meth:`MedeaScheduler.heartbeat_all`.
+        """
+        min_mem: int | None = None
+        min_vc = 0
+        for queue in self.queues.nonempty_queues():
+            task = queue.head()
+            if task is None:
+                continue
+            resource = task.resource
+            if min_mem is None:
+                min_mem = resource.memory_mb
+                min_vc = resource.vcores
+            else:
+                min_mem = min(min_mem, resource.memory_mb)
+                min_vc = min(min_vc, resource.vcores)
+        if min_mem is None:
+            return None
+        return (min_mem, min_vc)
 
     def handle_heartbeat(self, node_id: str, now: float) -> list[TaskAllocation]:
         """Allocate queued tasks onto the heartbeating node until it is full
@@ -116,6 +163,8 @@ class TaskBasedScheduler(abc.ABC):
                 break
             queue = self.queues.queue(task.queue)
             queue.pop_head()
+            if task.locality:
+                self._pending_locality -= 1
             queue.charge(task.resource)
             self.state.allocate(
                 task.task_id,
@@ -134,7 +183,9 @@ class TaskBasedScheduler(abc.ABC):
                 allocation_time=now,
             )
             allocations.append(allocation)
-            self.completed_allocations.append(allocation)
+            self.completed_count += 1
+            if self.retain_completed:
+                self.completed_allocations.append(allocation)
             self.metrics.counter("task_allocated_total").inc(queue=task.queue)
             self.metrics.timer("task_queue_latency_seconds").observe(
                 allocation.latency_s, queue=task.queue

@@ -94,6 +94,83 @@ def test_deterministic_across_scheduler_types() -> None:
     assert run_once() == run_once()
 
 
+def run_large_cluster(engine_mode: str, *, tracer=None) -> tuple[str, int]:
+    """A seeded 1000-node run; returns (canonical trace, heartbeats fired).
+
+    The trace records only scheduling cycles that placed or rejected
+    something: the on-demand engine legitimately skips the no-op ticks the
+    periodic engine fires, and everything *observable* must still match.
+    """
+    topology = build_cluster(1000, racks=20, memory_mb=16 * 1024, vcores=16)
+    sim = ClusterSimulation(
+        topology,
+        ConstraintUnawareScheduler(seed=7),
+        config=SimConfig(scheduling_interval_s=10.0, heartbeat_interval_s=1.0,
+                         horizon_s=120.0, engine=engine_mode),
+        tracer=tracer,
+    )
+    trace: list[str] = []
+    sim.cycle_observers.append(
+        lambda s, r: trace.append(
+            f"t={s.engine.now:.3f}"
+            f" placed={sorted(p.container_id + '@' + p.node_id for p in r.placements)}"
+            f" rejected={sorted(r.rejected_apps)}"
+        )
+        if r.placements or r.rejected_apps
+        else None
+    )
+    for i in range(40):
+        sim.submit_lra(
+            make_lra(f"big-{i:03d}", containers=4, memory_mb=2048),
+            at=1.5 * i,
+            duration_s=50.0 if i % 4 == 0 else None,
+        )
+    for i in range(150):
+        sim.submit_task(
+            TaskRequest(f"bigtask-{i:04d}", f"bigjob-{i % 7}",
+                        Resource(1024, 1), duration_s=3.0 + (i % 11)),
+            at=float(i % 90),
+        )
+    sim.run()
+    trace.append(
+        "latencies="
+        + repr([
+            (a.task_id, a.latency_s)
+            for a in sim.task_scheduler.completed_allocations
+        ])
+    )
+    final = sorted(
+        (cid, placed.node_id) for cid, placed in sim.state.containers.items()
+    )
+    trace.append(f"final={final}")
+    trace.append(f"fingerprint={sim.state.fingerprint()}")
+    canon = "\n".join(line for line in trace if line is not None)
+    return canon, sim.heartbeat_handle.fired
+
+
+def test_engines_byte_identical_at_scale() -> None:
+    """Periodic vs on-demand event engines: identical observables on a
+    seeded 1k-node cluster, with on-demand firing strictly fewer ticks."""
+    periodic, periodic_fired = run_large_cluster("periodic")
+    ondemand, ondemand_fired = run_large_cluster("ondemand")
+    assert periodic.encode() == ondemand.encode()
+    assert "placed=" in periodic and "fingerprint=" in periodic
+    # The point of on-demand mode: idle heartbeats never fire.
+    assert ondemand_fired < periodic_fired
+
+
+def test_tracing_does_not_perturb_the_run() -> None:
+    """MEDEA_TRACE-style tracing must be write-only: enabling an event
+    tracer cannot change placements, latencies, or fingerprints."""
+    from repro.obs.trace import MemorySink, Tracer
+
+    quiet, _ = run_large_cluster("ondemand")
+    sink = MemorySink()
+    traced, _ = run_large_cluster("ondemand", tracer=Tracer([sink], enabled=True))
+    assert quiet.encode() == traced.encode()
+    assert len(sink) > 0  # the tracer actually captured the run
+
+
 class TestScheduleAtSemantics:
     def test_past_scheduling_rejected(self) -> None:
         engine = SimulationEngine()

@@ -220,3 +220,79 @@ class TestClusterMetrics:
     def test_cluster_memory_utilization(self, state):
         put(state, "c0", "n00000", mem=16 * 1024)
         assert state.cluster_memory_utilization() == pytest.approx(0.1)
+
+
+class TestMetricMemoisation:
+    """Memoised cluster metrics must always agree with direct recomputation.
+
+    The metrics are cached on the state's version counter (bumped by node
+    mutation hooks on every allocate / release / availability flip); a
+    stale cache would silently skew utilisation, fragmentation, and the
+    fingerprint the determinism suite pins.
+    """
+
+    MUTATIONS = ("alloc", "release", "down", "up")
+
+    def _assert_fresh(self, state: ClusterState) -> None:
+        threshold = Resource(2048, 1)
+        assert state.total_free() == state._compute_total_free()
+        assert state.fragmented_node_fraction(threshold) == (
+            state._compute_fragmented_node_fraction(threshold)
+        )
+        assert state.memory_utilization_cv() == (
+            state._compute_memory_utilization_cv()
+        )
+        assert state.rack_memory_utilization() == (
+            state._compute_rack_memory_utilization()
+        )
+        assert state.cluster_memory_utilization() == (
+            state._compute_cluster_memory_utilization()
+        )
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_cached_values_track_mutations(self, small_topology, backend):
+        try:
+            state = ClusterState(small_topology, backend=backend)
+        except ValueError:
+            pytest.skip("numpy unavailable")
+        nodes = list(small_topology)
+        rng = random.Random(5)
+        live: list[str] = []
+        self._assert_fresh(state)
+        for step in range(120):
+            kind = rng.choice(self.MUTATIONS)
+            node = rng.choice(nodes)
+            if kind == "alloc":
+                resource = Resource(rng.choice([512, 1024, 4096]), 1)
+                if node.available and node.can_fit(resource):
+                    cid = f"m{step}"
+                    state.allocate(cid, node.node_id, resource, ("w",), "app")
+                    live.append(cid)
+            elif kind == "release" and live:
+                state.release(live.pop(rng.randrange(len(live))))
+            else:
+                node.available = kind == "up"
+            self._assert_fresh(state)
+
+    def test_memo_hit_without_mutation(self, state):
+        put(state, "c0", "n00000")
+        first = state.fingerprint()
+        version = state.version
+        assert state.fingerprint() == first
+        assert state.version == version  # reads must not invalidate
+        put(state, "c1", "n00001")
+        assert state.version > version
+        assert state.fingerprint() != first
+
+    def test_direct_node_mutation_invalidates(self, state):
+        """Flipping a node's availability directly (not through the state
+        API) must still invalidate cached metrics, via the node hooks."""
+        before = state.total_free()
+        node = state.topology.node("n00000")
+        node.available = False
+        after = state.total_free()
+        assert after.memory_mb == before.memory_mb - node.capacity.memory_mb
+        assert state.down_node_ids() == ["n00000"]
+        node.available = True
+        assert state.total_free() == before
+        assert state.down_node_ids() == []

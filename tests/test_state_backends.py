@@ -1,0 +1,227 @@
+"""Differential equivalence suite for the scale-out core.
+
+The vectorised cluster-state backend, the incrementally-maintained
+candidate index, and the on-demand event engine are all pure
+optimisations: same placements, same canonical traces, same fingerprints,
+byte for byte.  This suite locks that contract in by running every
+scenario generator the repo ships — HBase populations, utilisation-mix
+populations, complexity groups, GridMix and Google-trace task streams,
+with node failures thrown in — across the full (backend × engine) matrix
+and diffing the results against the legacy ``(object, periodic)``
+reference configuration.
+
+Anything observable must match exactly: the per-cycle placement trace,
+task-allocation latencies, the final container→node map, the placement
+fingerprint, and the ground-truth violation audit.  Statistical floats
+(utilisation CV) may differ in ulps between scalar and vectorised
+summation, so they are compared approximately — they never feed the
+canonical trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConstraintUnawareScheduler,
+    NodeCandidatesScheduler,
+    TagPopularityScheduler,
+    build_cluster,
+)
+from repro.cluster.state import ClusterState, _np
+from repro.core.requests import TaskRequest
+from repro.obs.violations import evaluate_violations
+from repro.sim import ClusterSimulation, SimConfig
+from repro.workloads.googletrace import GoogleTraceConfig, generate_trace
+from repro.workloads.gridmix import GridMixConfig, generate_tasks
+from repro.workloads.lra_gen import (
+    complexity_population,
+    hbase_population,
+    population_for_utilization,
+)
+
+#: The full differential matrix; ``(object, periodic)`` is the reference.
+CONFIGS = [
+    ("object", "periodic"),
+    ("object", "ondemand"),
+    ("array", "periodic"),
+    ("array", "ondemand"),
+]
+
+needs_numpy = pytest.mark.skipif(_np is None, reason="numpy unavailable")
+
+
+def _configs() -> list[tuple[str, str]]:
+    if _np is None:  # pragma: no cover - numpy is baked into the image
+        return [c for c in CONFIGS if c[0] != "array"]
+    return list(CONFIGS)
+
+
+#: Task streams are generated once per scenario and shared across configs:
+#: the generators draw task ids from a process-global counter, so repeated
+#: generation would (correctly) yield differently-named tasks.
+_TASK_STREAMS: dict[str, list[tuple[float, TaskRequest]]] = {}
+
+
+def _task_stream(name: str) -> list[tuple[float, TaskRequest]]:
+    if name not in _TASK_STREAMS:
+        if name == "hbase-gridmix":
+            stream = generate_tasks(
+                GridMixConfig(seed=7, mean_interarrival_s=1.0), count=60
+            )
+        elif name == "utilization-google":
+            stream = generate_trace(GoogleTraceConfig(seed=29), count=50)
+        elif name == "unaware-gridmix":
+            stream = generate_tasks(
+                GridMixConfig(seed=11, mean_interarrival_s=0.8), count=50
+            )
+        else:
+            stream = iter(())
+        _TASK_STREAMS[name] = list(stream)
+    return _TASK_STREAMS[name]
+
+
+def run_scenario(name: str, backend: str, engine: str) -> dict:
+    """Run one named scenario end to end; returns everything observable."""
+    topology = build_cluster(24, racks=4, memory_mb=16 * 1024, vcores=16)
+    horizon = 150.0
+    tasks = _task_stream(name)
+
+    if name == "hbase-gridmix":
+        scheduler = TagPopularityScheduler()
+        lras = hbase_population(4, region_servers=6, max_rs_per_node=2)
+        failures = [("n00003", False, 40.0), ("n00011", False, 55.0),
+                    ("n00003", True, 90.0)]
+    elif name == "utilization-google":
+        scheduler = NodeCandidatesScheduler()
+        lras = population_for_utilization(topology, 0.4, region_servers=6)
+        failures = [("n00017", False, 70.0)]
+    elif name == "complexity":
+        scheduler = TagPopularityScheduler()
+        lras = complexity_population(2, 3, containers_per_lra=6, seed=3)
+        failures = []
+    elif name == "unaware-gridmix":
+        scheduler = ConstraintUnawareScheduler(seed=42)
+        lras = hbase_population(3, region_servers=5)
+        failures = []
+    else:  # pragma: no cover
+        raise ValueError(name)
+
+    sim = ClusterSimulation(
+        topology,
+        scheduler,
+        config=SimConfig(
+            scheduling_interval_s=10.0,
+            heartbeat_interval_s=1.0,
+            horizon_s=horizon,
+            engine=engine,
+            backend=backend,
+        ),
+    )
+    trace: list[str] = []
+    sim.cycle_observers.append(
+        lambda s, result: trace.append(
+            f"t={s.engine.now:.3f}"
+            f" placed={sorted(p.container_id + '@' + p.node_id for p in result.placements)}"
+            f" rejected={sorted(result.rejected_apps)}"
+        )
+        # Only cycles that did something are recorded: the on-demand engine
+        # legitimately skips the no-op ticks the periodic engine fires.
+        if result.placements or result.rejected_apps
+        else None
+    )
+    for i, lra in enumerate(lras):
+        sim.submit_lra(lra, at=float(2 * i), duration_s=80.0 if i % 3 == 0 else None)
+    for arrival, task in tasks:
+        sim.submit_task(task, at=arrival)
+    for node_id, up, at in failures:
+        sim.set_node_availability(node_id, up, at=at)
+    sim.run()
+
+    state = sim.state
+    report = evaluate_violations(state, manager=sim.medea.manager)
+    return {
+        "trace": "\n".join(line for line in trace if line is not None),
+        "fingerprint": state.fingerprint(),
+        "final": sorted(
+            (cid, placed.node_id) for cid, placed in state.containers.items()
+        ),
+        "task_latencies": [
+            (a.task_id, a.latency_s)
+            for a in sim.task_scheduler.completed_allocations
+        ],
+        "down": state.down_node_ids(),
+        "violations": (
+            report.subject_containers,
+            report.violating_containers,
+            round(report.total_extent, 9),
+        ),
+        "total_free": state.total_free(),
+        "utilization": state.cluster_memory_utilization(),
+        "rack_util": state.rack_memory_utilization(),
+        "frag": state.fragmented_node_fraction(),
+        "cv": state.memory_utilization_cv(),
+    }
+
+
+#: Keys that must match the reference byte for byte / value for value.
+EXACT_KEYS = (
+    "trace", "fingerprint", "final", "task_latencies", "down",
+    "violations", "total_free", "utilization", "frag",
+)
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    ["hbase-gridmix", "utilization-google", "complexity", "unaware-gridmix"],
+)
+def test_backends_and_engines_are_equivalent(scenario: str) -> None:
+    reference = run_scenario(scenario, "object", "periodic")
+    # Sanity: the scenario actually exercised the scheduler.
+    assert reference["final"], scenario
+    assert reference["trace"], scenario
+    for backend, engine in _configs()[1:]:
+        candidate = run_scenario(scenario, backend, engine)
+        for key in EXACT_KEYS:
+            assert candidate[key] == reference[key], (
+                f"{scenario}: {key} diverged under backend={backend} "
+                f"engine={engine}"
+            )
+        # Vectorised float reductions may differ from scalar ones in ulps.
+        assert candidate["cv"] == pytest.approx(reference["cv"], rel=1e-12)
+        for rack, util in reference["rack_util"].items():
+            assert candidate["rack_util"][rack] == pytest.approx(util, rel=1e-12)
+
+
+@needs_numpy
+def test_array_backend_is_default(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.delenv("MEDEA_STATE_BACKEND", raising=False)
+    state = ClusterState(build_cluster(4))
+    assert state.arrays is not None
+
+
+@needs_numpy
+def test_backend_env_override(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("MEDEA_STATE_BACKEND", "object")
+    assert ClusterState(build_cluster(4)).arrays is None
+    monkeypatch.setenv("MEDEA_STATE_BACKEND", "array")
+    assert ClusterState(build_cluster(4)).arrays is not None
+    # Explicit argument wins over the environment.
+    assert ClusterState(build_cluster(4), backend="object").arrays is None
+    monkeypatch.setenv("MEDEA_STATE_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="backend"):
+        ClusterState(build_cluster(4))
+
+
+def test_index_bucket_env_override(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("MEDEA_INDEX_BUCKET_MB", "512")
+    assert ClusterState(build_cluster(4)).index_bucket_mb == 512
+    assert ClusterState(build_cluster(4), index_bucket_mb=64).index_bucket_mb == 64
+    monkeypatch.setenv("MEDEA_INDEX_BUCKET_MB", "0")
+    with pytest.raises(ValueError, match="bucket"):
+        ClusterState(build_cluster(4))
+
+
+def test_unknown_engine_mode_rejected() -> None:
+    with pytest.raises(ValueError, match="engine"):
+        SimConfig(engine="sometimes")
