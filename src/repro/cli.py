@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Nine commands, each a thin wrapper over the library:
+Ten commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -9,27 +9,37 @@ Nine commands, each a thin wrapper over the library:
   violations / fragmentation / latency table.
 * ``simulate`` — run a mixed LRA + batch workload through the two-scheduler
   simulation and report placement quality and task latency.
-* ``trace-report`` — summarise a JSONL trace produced by ``MEDEA_TRACE=1``
-  or ``--trace-out``.
-* ``dashboard`` — aggregate a JSONL trace into per-tick time series, replay
-  it against its recorded state hashes, judge SLO rules, and render a
-  terminal report (optionally ``--html`` / ``--json`` artifacts).
-* ``profile`` — span profile + per-app critical-path breakdown of a JSONL
-  trace, with collapsed-stack export for flamegraph.pl / speedscope.
+* ``trace-report`` — summarise a trace (JSONL or ``.mtrc``) produced by
+  ``MEDEA_TRACE=1`` or ``--trace-out``.
+* ``trace-convert`` — translate a trace between the JSONL and columnar
+  ``.mtrc`` containers (format chosen by the destination extension).
+* ``dashboard`` — aggregate a trace into per-tick time series, replay it
+  against its recorded state hashes, judge SLO rules, and render a
+  terminal report (optionally ``--html`` / ``--json`` artifacts).  Also
+  accepts a streaming ``ROLLUP_*.json`` document and renders from it
+  alone.
+* ``profile`` — span profile + per-app critical-path breakdown of a
+  trace, with collapsed-stack export for flamegraph.pl / speedscope
+  (``--memory`` adds ingest peak-memory accounting).
 * ``bench-compare`` — gate a ``BENCH_*.json`` run against a committed
   baseline (median/p95 with noise tolerance); exits non-zero on regression.
 * ``watch`` — poll a live telemetry endpoint's ``/snapshot`` into a
-  refreshing terminal view.
+  refreshing terminal view (retries with capped exponential backoff while
+  the endpoint comes up).
 
-Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``)
-or pass ``--trace-out FILE`` to ``compare``/``simulate`` to record the
-structured event stream; a metrics summary is printed after the run.
+Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``
+— a ``.mtrc`` extension selects the columnar container) or pass
+``--trace-out FILE`` to ``compare``/``simulate`` to record the structured
+event stream; a metrics summary is printed after the run.
+``MEDEA_TRACE_SAMPLE`` / ``--trace-sample`` attaches the deterministic
+sampling policy (e.g. ``"heartbeat=0.01,task=0.1,seed=7"``).
 
-Live plane: ``--serve PORT`` (or ``MEDEA_SERVE=port``) starts the in-process
-telemetry endpoint (``/metrics``, ``/healthz``, ``/snapshot``) for the
-duration of the run; ``--watchdog {warn,abort}`` (or ``MEDEA_WATCHDOG``)
-turns on the online invariant monitors; ``--log FILE`` (or ``MEDEA_LOG``)
-writes the structured JSON-lines run log.
+Live plane: ``--serve PORT`` (or ``MEDEA_SERVE=port``) starts the
+in-process telemetry endpoint (``/metrics``, ``/healthz``, ``/snapshot``)
+for the duration of the run; ``--rollup FILE`` (or ``MEDEA_ROLLUP``)
+streams bounded rollup documents to disk; ``--watchdog {warn,abort}`` (or
+``MEDEA_WATCHDOG``) turns on the online invariant monitors; ``--log FILE``
+(or ``MEDEA_LOG``) writes the structured JSON-lines run log.
 """
 
 from __future__ import annotations
@@ -52,6 +62,18 @@ def _add_live_plane_args(p: argparse.ArgumentParser) -> None:
         "--log", metavar="FILE", default=None,
         help="write the structured JSON-lines run log to this file "
              "('-' for stderr)",
+    )
+    p.add_argument(
+        "--rollup", metavar="FILE", default=None,
+        help="stream bounded rollup documents (series + span stats + "
+             "self-telemetry) to this JSON file, atomically rewritten "
+             "during the run",
+    )
+    p.add_argument(
+        "--trace-sample", metavar="SPEC", default=None,
+        help="deterministic trace sampling policy, e.g. "
+             "'heartbeat=0.01,task=0.1,seed=7' (kept lifecycles stay "
+             "complete; protected kinds are never dropped)",
     )
 
 
@@ -100,15 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_live_plane_args(p_sim)
 
     p_trace = sub.add_parser(
-        "trace-report", help="summarise a MEDEA_TRACE JSONL trace file"
+        "trace-report", help="summarise a MEDEA_TRACE trace file"
     )
-    p_trace.add_argument("trace_file", help="path to the .jsonl trace")
+    p_trace.add_argument("trace_file", help="path to the .jsonl/.mtrc trace")
+
+    p_convert = sub.add_parser(
+        "trace-convert",
+        help="convert a trace between JSONL and the columnar .mtrc container",
+    )
+    p_convert.add_argument("source", help="input trace (.jsonl or .mtrc)")
+    p_convert.add_argument(
+        "destination",
+        help="output path; a .mtrc extension writes the columnar "
+             "container, anything else writes JSONL",
+    )
 
     p_dash = sub.add_parser(
         "dashboard",
-        help="timeline + SLO + replay dashboard for a JSONL trace file",
+        help="timeline + SLO + replay dashboard for a trace file or a "
+             "streaming ROLLUP_*.json document",
     )
-    p_dash.add_argument("trace_file", help="path to the .jsonl trace")
+    p_dash.add_argument(
+        "trace_file", help="path to the .jsonl/.mtrc trace or ROLLUP_*.json"
+    )
     p_dash.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the dashboard summary JSON to this file",
@@ -138,10 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="span profile + critical-path breakdown of a JSONL trace",
     )
-    p_profile.add_argument("trace_file", help="path to the .jsonl trace")
+    p_profile.add_argument("trace_file", help="path to the .jsonl/.mtrc trace")
     p_profile.add_argument(
         "--collapsed", metavar="FILE", default=None,
         help="write collapsed-stack lines (flamegraph.pl / speedscope input)",
+    )
+    p_profile.add_argument(
+        "--memory", action="store_true",
+        help="account the ingest's own memory: tracemalloc peak and "
+             "process peak RSS, printed after the profile",
     )
     p_profile.add_argument(
         "--weight", choices=("time", "count"), default="time",
@@ -167,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--abs-floor", type=float, default=None, metavar="SECONDS",
         help="absolute slack added to every limit (default 0.02s)",
     )
+    p_bench.add_argument(
+        "--series", action="append", default=None, metavar="NAME",
+        help="gate this extra per-benchmark series (repeatable), e.g. "
+             "obs_overhead_ratio; defaults to the built-in gated set",
+    )
 
     p_watch = sub.add_parser(
         "watch",
@@ -187,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_watch.add_argument(
         "--no-clear", action="store_true",
         help="append frames instead of clearing the screen between polls",
+    )
+    p_watch.add_argument(
+        "--retry-for", type=float, default=10.0, metavar="SECONDS",
+        help="keep retrying an unreachable endpoint with capped "
+             "exponential backoff for this long before giving up "
+             "(default 10; 0 fails on the first refused connection)",
     )
     return parser
 
@@ -344,6 +396,70 @@ def _cmd_trace_report(trace_file: str) -> int:
     return 0
 
 
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    import json as _json
+    import os as _os
+    from time import perf_counter
+
+    from .obs.mtrc import MtrcSink
+    from .obs.report import TraceFileError, iter_trace
+
+    if _os.path.abspath(args.source) == _os.path.abspath(args.destination):
+        print("trace-convert: source and destination are the same file",
+              file=sys.stderr)
+        return 1
+    t0 = perf_counter()
+    count = 0
+    try:
+        reader = iter_trace(args.source)
+        if args.destination.endswith(".mtrc"):
+            sink = MtrcSink(args.destination)
+            try:
+                for obj in reader:
+                    sink.append_obj(obj)
+                    count += 1
+            finally:
+                sink.close()
+        else:
+            with open(args.destination, "w", encoding="utf-8") as handle:
+                for obj in reader:
+                    handle.write(_json.dumps(obj, sort_keys=True) + "\n")
+                    count += 1
+    except TraceFileError as exc:
+        print(f"trace-convert: {exc}", file=sys.stderr)
+        return 1
+    elapsed = perf_counter() - t0
+    bytes_in = _os.path.getsize(args.source)
+    bytes_out = _os.path.getsize(args.destination)
+    ratio = bytes_in / bytes_out if bytes_out else float("inf")
+    print(
+        f"converted {count} events: {bytes_in} -> {bytes_out} bytes "
+        f"({ratio:.1f}x) in {elapsed:.2f}s"
+    )
+    if reader.truncated:
+        print("warning: trailing partial line/chunk ignored (crashed run?)")
+    return 0
+
+
+def _load_rollup_doc(path: str):
+    """Return the parsed rollup document when ``path`` holds one, else
+    ``None`` (raw traces and anything unreadable fall through to the
+    trace pipeline, which owns the error messages)."""
+    import json as _json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.read(1)
+            if head != "{":
+                return None
+            doc = _json.loads(head + handle.read())
+    except (OSError, ValueError):
+        return None
+    from .obs.rollup import is_rollup_doc
+
+    return doc if is_rollup_doc(doc) else None
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -364,16 +480,22 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"dashboard: cannot load SLO rules: {exc}", file=sys.stderr)
             return 1
-    try:
-        summary = build_dashboard(
-            args.trace_file,
-            tick_s=args.tick,
-            max_points=args.max_points,
-            rules=rules,
-        )
-    except TraceFileError as exc:
-        print(f"dashboard: {exc}", file=sys.stderr)
-        return 1
+    rollup_doc = _load_rollup_doc(args.trace_file)
+    if rollup_doc is not None:
+        from .obs.rollup import build_dashboard_from_rollup
+
+        summary = build_dashboard_from_rollup(rollup_doc, rules=rules)
+    else:
+        try:
+            summary = build_dashboard(
+                args.trace_file,
+                tick_s=args.tick,
+                max_points=args.max_points,
+                rules=rules,
+            )
+        except TraceFileError as exc:
+            print(f"dashboard: {exc}", file=sys.stderr)
+            return 1
     title = f"Medea run dashboard — {args.trace_file}"
     print(render_dashboard(summary, title=title))
     if args.json:
@@ -398,22 +520,53 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json as _json
 
+    from .obs.events import EventKind
     from .obs.profile import (
-        build_profile,
-        critical_paths,
+        CriticalPathBuilder,
+        ProfileReport,
         render_critical_paths,
         render_profile,
     )
-    from .obs.report import TraceFileError, read_trace
+    from .obs.report import TraceFileError, iter_trace
     from .reporting import banner
 
+    if args.memory:
+        import tracemalloc
+
+        tracemalloc.start()
+    report = ProfileReport()
+    path_builder = CriticalPathBuilder()
     try:
-        trace = read_trace(args.trace_file)
+        for obj in iter_trace(args.trace_file):
+            if obj.get("kind") == EventKind.SPAN:
+                report.add(obj)
+            else:
+                path_builder.feed(obj)
     except TraceFileError as exc:
         print(f"profile: {exc}", file=sys.stderr)
         return 1
-    report = build_profile(trace.events)
-    paths = critical_paths(trace.events)
+    paths = path_builder.result()
+    memory_note = None
+    if args.memory:
+        import resource
+        import tracemalloc
+
+        _, traced_peak = tracemalloc.get_traced_memory()
+        top = tracemalloc.take_snapshot().statistics("lineno")[:3]
+        tracemalloc.stop()
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        rss_raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_mb = rss_raw / 1024 if sys.platform != "darwin" else rss_raw / 2**20
+        memory_note = [
+            f"ingest peak (tracemalloc): {traced_peak / 2**20:.1f} MiB; "
+            f"process peak RSS: {rss_mb:.1f} MiB"
+        ]
+        for stat in top:
+            frame = stat.traceback[0]
+            memory_note.append(
+                f"  top alloc: {frame.filename}:{frame.lineno} "
+                f"{stat.size / 2**20:.1f} MiB"
+            )
     print(banner(f"Span profile — {args.trace_file}"))
     print(render_profile(report))
     print()
@@ -433,6 +586,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             _json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"profile JSON written to {args.json}")
+    if memory_note:
+        print()
+        for line in memory_note:
+            print(line)
     return 0
 
 
@@ -444,6 +601,8 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         kwargs["ratio"] = args.ratio
     if args.abs_floor is not None:
         kwargs["abs_floor_s"] = args.abs_floor
+    if args.series:
+        kwargs["series"] = tuple(bench.DEFAULT_GATED_SERIES) + tuple(args.series)
     try:
         comparison = bench.compare_bench_files(
             args.baseline, args.current, **kwargs
@@ -455,11 +614,34 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _fetch_snapshot_retrying(target: str, retry_for_s: float):
+    """Fetch ``/snapshot``, retrying refused/failed connections with
+    capped exponential backoff (0.25s doubling to 4s) until
+    ``retry_for_s`` of wall time has elapsed.  A watcher started a moment
+    before the run's endpoint binds should wait, not crash."""
+    import time as _time
+    from urllib.error import URLError
+
+    from .obs.serve import fetch_snapshot
+
+    deadline = _time.monotonic() + max(0.0, retry_for_s)
+    delay = 0.25
+    while True:
+        try:
+            return fetch_snapshot(target)
+        except (URLError, OSError, ValueError):
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise
+            _time.sleep(min(delay, remaining))
+            delay = min(delay * 2, 4.0)
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     import time as _time
     from urllib.error import URLError
 
-    from .obs.serve import fetch_snapshot, render_watch
+    from .obs.serve import render_watch
 
     frames = 0
     try:
@@ -467,7 +649,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             if frames:
                 _time.sleep(args.interval)
             try:
-                snapshot = fetch_snapshot(args.target)
+                snapshot = _fetch_snapshot_retrying(args.target, args.retry_for)
             except (URLError, OSError, ValueError) as exc:
                 print(f"watch: cannot reach {args.target}: {exc}",
                       file=sys.stderr)
@@ -483,14 +665,29 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 
 def _configure_tracing(args: argparse.Namespace) -> bool:
-    """Honour MEDEA_TRACE / MEDEA_TRACE_OUT and the --trace-out flag.
-    Returns True when an enabled tracer is installed for this invocation."""
-    from .obs.trace import configure, configure_from_env, get_tracer
+    """Honour MEDEA_TRACE / MEDEA_TRACE_OUT / MEDEA_TRACE_SAMPLE and the
+    --trace-out / --trace-sample flags.  Returns True when an enabled
+    tracer is installed for this invocation."""
+    import os as _os
+
+    from .obs.sample import parse_sample_spec
+    from .obs.trace import ENV_TRACE_SAMPLE, configure, configure_from_env, get_tracer
 
     configure_from_env()
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
-        configure(jsonl_path=trace_out)
+        sample = getattr(args, "trace_sample", None) or _os.environ.get(
+            ENV_TRACE_SAMPLE
+        )
+        try:
+            configure(jsonl_path=trace_out, sample=parse_sample_spec(sample))
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}")
+    elif getattr(args, "trace_sample", None) and not get_tracer().enabled:
+        raise SystemExit(
+            "repro: --trace-sample needs a trace destination "
+            "(--trace-out or MEDEA_TRACE=1)"
+        )
     return get_tracer().enabled
 
 
@@ -512,29 +709,50 @@ def _configure_live_plane(args: argparse.Namespace):
         server = serve_from_env()
     if server is not None:
         print(f"telemetry endpoint: {server.url}", file=sys.stderr)
+    # Rollup after serve so an already-running server shares its live
+    # RollupState with the on-disk sink.
+    from .obs.rollup import install_rollup, rollup_from_env
+
+    rollup_target = getattr(args, "rollup", None)
+    if rollup_target:
+        install_rollup(rollup_target)
+    else:
+        rollup_from_env()
     return server
 
 
 def _finish_live_plane() -> None:
     from .obs.log import get_run_logger
+    from .obs.rollup import shutdown_rollup
     from .obs.serve import shutdown_server
 
+    shutdown_rollup()
     shutdown_server()
     get_run_logger().close()
 
 
 def _finish_tracing() -> None:
-    """Flush the trace file and print the metrics summary."""
+    """Flush the trace file and print the metrics + self-telemetry summary."""
     from .obs.metrics import get_metrics
     from .obs.report import render_metrics, render_timers
     from .obs.trace import get_tracer
 
-    get_tracer().close()
+    tracer = get_tracer()
+    tracer.close()
     snapshot = get_metrics().snapshot()
     print()
     print(render_metrics(snapshot))
     if snapshot["timers"]:
         print(render_timers(snapshot))
+    stats = tracer.self_stats()
+    line = (
+        f"tracer: {stats['events_emitted']} events emitted"
+        f" ({stats['events_dropped']} sampled out)"
+        f", overhead {stats['overhead_s']:.3f}s"
+    )
+    if stats.get("sampling"):
+        line += f", sampling '{stats['sampling']}'"
+    print(line)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -545,6 +763,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_parse(args.constraint)
     if args.command == "trace-report":
         return _cmd_trace_report(args.trace_file)
+    if args.command == "trace-convert":
+        return _cmd_trace_convert(args)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
     if args.command == "profile":

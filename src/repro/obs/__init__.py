@@ -59,6 +59,29 @@ attribution):
   against a committed baseline (median/p95, noise-tolerant) so CI can fail
   on perf regressions (``repro bench-compare``).
 
+The **scale plane** (ISSUE 8) — observing 10k-node runs without the
+telemetry dominating the run:
+
+* **Sampling tracer** — :class:`SamplingPolicy` / :class:`TraceSampler`
+  (``repro.obs.sample``): deterministic head-based per-event-type
+  sampling keyed on app/task identity, so kept lifecycles stay complete
+  and same-seed canonical traces stay byte-identical
+  (``MEDEA_TRACE_SAMPLE`` / ``--trace-sample``).
+* **Columnar traces** — the ``.mtrc`` container (``repro.obs.mtrc``):
+  chunked, struct-packed, zlib-compressed columns; ≥10× smaller and much
+  faster to ingest than JSONL.  :func:`iter_trace` / :func:`read_trace`
+  and every consumer accept both formats; ``repro trace-convert``
+  translates.
+* **Streaming rollups** — :class:`RollupState` / :class:`RollupSink`
+  (``repro.obs.rollup``): live bounded aggregates periodically flushed to
+  an atomic ``ROLLUP_*.json``; the dashboard renders from a rollup alone
+  and ``/snapshot`` serves from the same state (``MEDEA_ROLLUP`` /
+  ``--rollup``).
+* **Self-telemetry** — the tracer accounts its own cost
+  (``events_seen/emitted/dropped``, ``overhead_s``); the
+  ``benchmarks/test_obs_overhead.py`` gate keeps total observability
+  overhead within budget via ``repro bench-compare``.
+
 Ambient configuration::
 
     from repro import obs
@@ -113,8 +136,33 @@ from .profile import (
     build_profile,
     critical_paths,
 )
-from .replay import ReplayDivergence, ReplayReport, replay_events, replay_jsonl
-from .report import TraceFileError, build_dashboard, read_trace
+from .mtrc import MtrcFormatError, MtrcReader, MtrcSink, read_mtrc, write_mtrc
+from .replay import (
+    ReplayDivergence,
+    ReplayReport,
+    ReplayState,
+    replay_events,
+    replay_jsonl,
+)
+from .report import (
+    TraceFileError,
+    TraceReader,
+    build_dashboard,
+    iter_trace,
+    read_trace,
+)
+from .rollup import (
+    ROLLUP_SCHEMA,
+    RollupSink,
+    RollupState,
+    build_dashboard_from_rollup,
+    get_rollup,
+    install_rollup,
+    load_rollup,
+    rollup_from_env,
+    shutdown_rollup,
+)
+from .sample import SamplingPolicy, TraceSampler, parse_sample_spec
 from .serve import (
     HealthState,
     TelemetryServer,
@@ -145,6 +193,7 @@ from .trace import (
     configure,
     configure_from_env,
     get_tracer,
+    open_trace_sink,
     set_tracer,
 )
 
@@ -163,6 +212,27 @@ __all__ = [
     "set_tracer",
     "configure",
     "configure_from_env",
+    "open_trace_sink",
+    # sampling
+    "SamplingPolicy",
+    "TraceSampler",
+    "parse_sample_spec",
+    # columnar traces
+    "MtrcFormatError",
+    "MtrcReader",
+    "MtrcSink",
+    "read_mtrc",
+    "write_mtrc",
+    # streaming rollups
+    "ROLLUP_SCHEMA",
+    "RollupState",
+    "RollupSink",
+    "install_rollup",
+    "shutdown_rollup",
+    "get_rollup",
+    "rollup_from_env",
+    "load_rollup",
+    "build_dashboard_from_rollup",
     # metrics
     "Counter",
     "Gauge",
@@ -194,6 +264,7 @@ __all__ = [
     # replay
     "ReplayDivergence",
     "ReplayReport",
+    "ReplayState",
     "replay_events",
     "replay_jsonl",
     # spans + profiles
@@ -215,6 +286,8 @@ __all__ = [
     "compare_bench_files",
     # trace files + dashboard
     "TraceFileError",
+    "TraceReader",
+    "iter_trace",
     "read_trace",
     "build_dashboard",
     # violations audit

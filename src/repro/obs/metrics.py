@@ -31,14 +31,53 @@ __all__ = [
     "SolverStats",
     "get_metrics",
     "set_metrics",
+    "parse_label_key",
 ]
 
 
+def _escape_label_part(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+    )
+
+
 def _label_key(labels: Mapping[str, Any]) -> str:
-    """Canonical string form of a label set (sorted ``k=v`` pairs)."""
+    """Canonical string form of a label set (sorted ``k=v`` pairs).
+
+    ``\\``, ``,`` and ``=`` inside keys or values are backslash-escaped so
+    the key round-trips losslessly through :func:`parse_label_key` — a
+    label value like ``rack=a,b`` must not masquerade as two labels."""
     if not labels:
         return ""
-    return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return ",".join(
+        f"{_escape_label_part(k)}={_escape_label_part(str(labels[k]))}"
+        for k in sorted(labels)
+    )
+
+
+def parse_label_key(label_key: str) -> list[tuple[str, str]]:
+    """Invert :func:`_label_key`: canonical string → ``(key, value)`` pairs
+    (order preserved; unescapes ``\\\\``, ``\\,`` and ``\\=``)."""
+    if not label_key:
+        return []
+    pairs: list[tuple[str, str]] = []
+    key_parts: list[str] = []
+    value_parts: list[str] = []
+    current = key_parts
+    chars = iter(label_key)
+    for ch in chars:
+        if ch == "\\":
+            current.append(next(chars, ""))
+        elif ch == "=" and current is key_parts:
+            current = value_parts
+        elif ch == ",":
+            pairs.append(("".join(key_parts), "".join(value_parts)))
+            key_parts, value_parts = [], []
+            current = key_parts
+        else:
+            current.append(ch)
+    pairs.append(("".join(key_parts), "".join(value_parts)))
+    return pairs
 
 
 class _Instrument:

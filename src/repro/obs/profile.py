@@ -221,23 +221,24 @@ class AppCriticalPath:
         return obj
 
 
-def critical_paths(
-    events: Iterable[Mapping[str, Any] | TraceEvent],
-) -> list[AppCriticalPath]:
-    """Per-application latency attribution from the LRA lifecycle trace.
+class CriticalPathBuilder:
+    """Streaming per-application latency attribution.
 
-    Requires the Medea facade's lifecycle events (``lra.submit``,
-    ``cycle.start`` with its ``batch``, ``scheduler.place`` with its wall
-    solve time, ``lra.place`` / ``lra.reject`` / ``lra.conflict`` /
-    ``lra.drop``); batch-harness traces without them yield an empty list.
-    Results are sorted by app id.
+    Feed decoded event dicts in stream order (:meth:`feed`) and collect
+    the app-sorted paths with :meth:`result`; :func:`critical_paths`
+    wraps it for whole-iterable inputs.  Memory is bounded by the number
+    of applications, not the trace length.
     """
-    apps: dict[str, AppCriticalPath] = {}
-    current_batch: list[str] = []
-    for obj in _iter_objs(events):
+
+    def __init__(self) -> None:
+        self.apps: dict[str, AppCriticalPath] = {}
+        self._current_batch: list[str] = []
+
+    def feed(self, obj: Mapping[str, Any]) -> None:
         kind = obj.get("kind")
         data = obj.get("data") or {}
         t = obj.get("time")
+        apps = self.apps
         if kind == EventKind.LRA_SUBMIT:
             app_id = data.get("app_id")
             if app_id is not None and app_id not in apps:
@@ -245,8 +246,8 @@ def critical_paths(
                     app_id=app_id, submit_time=float(t or 0.0)
                 )
         elif kind == EventKind.CYCLE_START:
-            current_batch = [a for a in data.get("batch", ()) if a in apps]
-            for app_id in current_batch:
+            self._current_batch = [a for a in data.get("batch", ()) if a in apps]
+            for app_id in self._current_batch:
                 path = apps[app_id]
                 path.cycles += 1
                 if path.first_considered_time is None:
@@ -255,7 +256,7 @@ def critical_paths(
             wall = obj.get(WALL_KEY) or {}
             solve = wall.get("solve_time_s")
             if solve is not None:
-                for app_id in current_batch:
+                for app_id in self._current_batch:
                     apps[app_id].solver_wall_s += float(solve)
         elif kind == EventKind.LRA_PLACE:
             app_id = data.get("app_id")
@@ -278,8 +279,27 @@ def critical_paths(
             if path is not None:
                 path.dropped = True
         elif kind == EventKind.CYCLE_END:
-            current_batch = []
-    return [apps[app_id] for app_id in sorted(apps)]
+            self._current_batch = []
+
+    def result(self) -> list[AppCriticalPath]:
+        return [self.apps[app_id] for app_id in sorted(self.apps)]
+
+
+def critical_paths(
+    events: Iterable[Mapping[str, Any] | TraceEvent],
+) -> list[AppCriticalPath]:
+    """Per-application latency attribution from the LRA lifecycle trace.
+
+    Requires the Medea facade's lifecycle events (``lra.submit``,
+    ``cycle.start`` with its ``batch``, ``scheduler.place`` with its wall
+    solve time, ``lra.place`` / ``lra.reject`` / ``lra.conflict`` /
+    ``lra.drop``); batch-harness traces without them yield an empty list.
+    Results are sorted by app id.
+    """
+    builder = CriticalPathBuilder()
+    for obj in _iter_objs(events):
+        builder.feed(obj)
+    return builder.result()
 
 
 # -- renderers ----------------------------------------------------------------

@@ -12,8 +12,20 @@ checkpoint.  A mismatch pinpoints the first tick where the trace stops
 being a faithful account of the run: a corrupted/edited file, a
 non-deterministic emitter, or an instrumentation gap.
 
-Batch traces (``timed_place`` driven, no simulation) contain no
-checkpoints; they replay trivially with ``checks == 0`` and ``ok == True``.
+Sampled traces (``MEDEA_TRACE_SAMPLE``) cannot satisfy the full-state
+hash — dropped lifecycle events are missing from the reconstruction by
+design.  The sampling tracer therefore enriches each checkpoint with a
+``sampled_hash`` over the *kept* lifecycle events only
+(:mod:`repro.obs.sample`); when present it is checked instead of the full
+``hash``, so sampled traces cross-check without false divergence while
+still catching corruption of the kept stream.
+
+:class:`ReplayState` is the streaming core — feed it decoded event dicts
+one at a time (:meth:`ReplayState.feed`) and call
+:meth:`ReplayState.finish`; :func:`replay_events` / :func:`replay_jsonl`
+wrap it for whole-iterable and file inputs.  Batch traces (``timed_place``
+driven, no simulation) contain no checkpoints; they replay trivially with
+``checks == 0`` and ``ok == True``.
 """
 
 from __future__ import annotations
@@ -24,7 +36,13 @@ from typing import Any, Iterable, Mapping
 from ..cluster.state import placement_fingerprint
 from .events import EventKind
 
-__all__ = ["ReplayDivergence", "ReplayReport", "replay_events", "replay_jsonl"]
+__all__ = [
+    "ReplayDivergence",
+    "ReplayReport",
+    "ReplayState",
+    "replay_events",
+    "replay_jsonl",
+]
 
 #: Divergences stored in full before the report only counts them.
 MAX_RECORDED_DIVERGENCES = 16
@@ -54,6 +72,9 @@ class ReplayReport:
 
     events: int = 0
     checks: int = 0
+    #: Checkpoints verified against the sampling tracer's ``sampled_hash``
+    #: (kept-lifecycle fingerprint) rather than the full-state ``hash``.
+    sampled_checks: int = 0
     allocated: int = 0
     released: int = 0
     divergence_count: int = 0
@@ -78,6 +99,8 @@ class ReplayReport:
             "divergences": self.divergence_count,
             "warnings": list(self.warnings),
         }
+        if self.sampled_checks:
+            obj["sampled_checks"] = self.sampled_checks
         first = self.first_divergence
         if first is not None:
             obj["first_divergence"] = {
@@ -89,61 +112,71 @@ class ReplayReport:
         return obj
 
 
-def replay_events(events: Iterable[Mapping[str, Any]]) -> ReplayReport:
-    """Replay decoded event dicts and cross-check every state hash."""
-    report = ReplayReport()
-    placements: dict[str, str] = {}
-    down: set[str] = set()
-    missing_placements_warned = False
-    for obj in events:
+class ReplayState:
+    """Streaming replayer: feed events one at a time, memory bounded by the
+    number of *concurrently placed* containers, not trace length."""
+
+    def __init__(self) -> None:
+        self.report = ReplayReport()
+        self._placements: dict[str, str] = {}
+        self._down: set[str] = set()
+        self._missing_placements_warned = False
+
+    def feed(self, obj: Mapping[str, Any]) -> None:
+        """Ingest one decoded event dict."""
+        report = self.report
         report.events += 1
         kind = obj.get("kind")
         data = obj.get("data") or {}
         if kind == EventKind.LRA_PLACE:
             recorded = data.get("placements")
             if recorded is None:
-                if not missing_placements_warned:
-                    missing_placements_warned = True
+                if not self._missing_placements_warned:
+                    self._missing_placements_warned = True
                     report.warnings.append(
                         "lra.place events carry no 'placements' map (trace "
                         "predates replay support); state reconstruction is "
                         "incomplete"
                     )
             else:
+                placements = self._placements
                 for container_id, node_id in recorded:
                     placements[container_id] = node_id
                     report.allocated += 1
         elif kind == EventKind.LRA_COMPLETE:
             for container_id in data.get("released", ()):
-                if placements.pop(container_id, None) is not None:
+                if self._placements.pop(container_id, None) is not None:
                     report.released += 1
         elif kind == EventKind.TASK_ALLOCATE:
             task_id = data.get("task_id")
             node_id = data.get("node_id")
             if task_id is not None and node_id is not None:
-                placements[task_id] = node_id
+                self._placements[task_id] = node_id
                 report.allocated += 1
         elif kind == EventKind.TASK_RELEASE:
             task_id = data.get("task_id")
-            if task_id is not None and placements.pop(task_id, None) is not None:
+            if task_id is not None and self._placements.pop(task_id, None) is not None:
                 report.released += 1
         elif kind == EventKind.BENCH_EXPERIMENT:
             # Fresh cluster: experiments in one session share a trace file.
-            placements.clear()
-            down.clear()
+            self._placements.clear()
+            self._down.clear()
         elif kind == EventKind.NODE_AVAILABILITY:
             node_id = data.get("node_id")
             if node_id is not None:
                 if data.get("up"):
-                    down.discard(node_id)
+                    self._down.discard(node_id)
                 else:
-                    down.add(node_id)
+                    self._down.add(node_id)
         elif kind == EventKind.SIM_STATE_HASH:
-            expected = data.get("hash")
+            sampled = data.get("sampled_hash")
+            expected = sampled if sampled is not None else data.get("hash")
             if expected is None:
-                continue
+                return
             report.checks += 1
-            actual = placement_fingerprint(placements, down)
+            if sampled is not None:
+                report.sampled_checks += 1
+            actual = placement_fingerprint(self._placements, self._down)
             if actual != expected:
                 report.divergence_count += 1
                 if len(report.divergences) < MAX_RECORDED_DIVERGENCES:
@@ -153,26 +186,50 @@ def replay_events(events: Iterable[Mapping[str, Any]]) -> ReplayReport:
                             time=obj.get("time"),
                             expected=expected,
                             actual=actual,
-                            containers=len(placements),
+                            containers=len(self._placements),
                         )
                     )
-    if report.checks == 0:
-        report.warnings.append(
-            "trace contains no sim.state_hash checkpoints (batch trace?); "
-            "replay is vacuously valid"
-        )
-    return report
+
+    def finish(self) -> ReplayReport:
+        """Final report (idempotent; safe to call once feeding is done)."""
+        report = self.report
+        if report.checks == 0 and not any(
+            "no sim.state_hash checkpoints" in w for w in report.warnings
+        ):
+            report.warnings.append(
+                "trace contains no sim.state_hash checkpoints (batch trace?); "
+                "replay is vacuously valid"
+            )
+        if report.sampled_checks:
+            note = (
+                f"{report.sampled_checks}/{report.checks} checkpoints verified "
+                "against sampled_hash (sampled trace; kept lifecycles only)"
+            )
+            if note not in report.warnings:
+                report.warnings.append(note)
+        return report
+
+
+def replay_events(events: Iterable[Mapping[str, Any]]) -> ReplayReport:
+    """Replay decoded event dicts and cross-check every state hash."""
+    state = ReplayState()
+    for obj in events:
+        state.feed(obj)
+    return state.finish()
 
 
 def replay_jsonl(path: str) -> ReplayReport:
-    """Replay a recorded JSONL trace file (tolerates a trailing partial
-    line; raises :class:`~repro.obs.report.TraceFileError` on unusable
-    files)."""
-    from .report import read_trace
+    """Replay a recorded trace file — JSONL or ``.mtrc`` — streaming
+    (tolerates a trailing partial line/chunk; raises
+    :class:`~repro.obs.report.TraceFileError` on unusable files)."""
+    from .report import iter_trace
 
-    trace = read_trace(path)
-    report = replay_events(trace.events)
-    if trace.truncated:
+    reader = iter_trace(path)
+    state = ReplayState()
+    for obj in reader:
+        state.feed(obj)
+    report = state.finish()
+    if reader.truncated:
         report.warnings.append(
             f"trailing partial line ignored (crashed run?): {path}"
         )

@@ -5,10 +5,13 @@ tables (grep-able fixed-width columns).  Used by ``python -m repro.cli
 trace-report`` / ``dashboard`` and the harness's ``SOLVER_STATS=1`` /
 ``MEDEA_TRACE=1`` paths.
 
-Trace files are read through :func:`read_trace`, which turns every failure
-mode (missing file, empty file, corrupt JSON mid-file) into a typed
-:class:`TraceFileError` and *tolerates a trailing partial line* — the
-normal shape of a trace from a crashed run.
+Trace files are read through :func:`iter_trace` (streaming — constant
+memory however large the trace) or :func:`read_trace` (eager list), both
+of which accept JSONL *and* the columnar ``.mtrc`` container
+(:mod:`repro.obs.mtrc`), turn every failure mode (missing file, empty
+file, corrupt JSON mid-file) into a typed :class:`TraceFileError`, and
+*tolerate a trailing partial line/chunk* — the normal shape of a trace
+from a crashed run.
 
 The dashboard pipeline (:func:`build_dashboard` →
 :func:`render_dashboard` / :func:`render_dashboard_html`) combines the
@@ -33,6 +36,8 @@ from .events import WALL_KEY, TraceEvent
 __all__ = [
     "TraceFileError",
     "TraceFile",
+    "TraceReader",
+    "iter_trace",
     "read_trace",
     "read_jsonl",
     "event_counts",
@@ -58,91 +63,172 @@ class TraceFileError(ValueError):
 
 @dataclass
 class TraceFile:
-    """A parsed JSONL trace plus parse provenance."""
+    """A parsed trace plus parse provenance."""
 
     path: str
     events: list[dict[str, Any]] = field(default_factory=list)
-    #: True when a trailing partial line was ignored (crashed run).
+    #: True when a trailing partial line/chunk was ignored (crashed run).
     truncated: bool = False
 
 
-def read_trace(path: str, *, allow_partial_tail: bool = True) -> TraceFile:
-    """Parse a JSONL trace file defensively.
+#: Whole-file diagnosis cap: mix-up documents (BENCH_*.json, ROLLUP_*.json)
+#: are re-parsed in full for a precise error message only below this size.
+_DIAGNOSIS_MAX_BYTES = 64 * 1024 * 1024
 
-    * missing/unreadable file → :class:`TraceFileError`
-    * no events at all (empty file) → :class:`TraceFileError`
-    * corrupt JSON before the last line → :class:`TraceFileError` naming
-      the line
-    * corrupt JSON on the *last* non-empty line → tolerated as a partial
-      write from a crashed run (``truncated=True``), unless
-      ``allow_partial_tail=False``
-    * common mix-ups get a specific diagnosis: a directory, a
-      ``BENCH_*.json`` benchmark results document (use ``bench-compare``),
-      or JSON lines that are not trace events
+
+class TraceReader:
+    """Streaming iterator over a trace file's decoded event dicts.
+
+    Accepts both containers — JSONL (one event per line) and ``.mtrc``
+    (columnar chunks, detected by extension or magic bytes) — and keeps
+    memory constant regardless of file size: one line or one chunk is
+    resident at a time.
+
+    Error contract (matching the historical :func:`read_trace`):
+
+    * missing/unreadable file, a directory, or an empty trace →
+      :class:`TraceFileError`
+    * corrupt data before the tail → :class:`TraceFileError`; common
+      mix-ups (``BENCH_*.json`` benchmark documents, ``ROLLUP_*.json``
+      rollup files) get a specific diagnosis
+    * a corrupt *trailing* line/chunk is tolerated as a partial write from
+      a crashed run: iteration ends cleanly with :attr:`truncated` set
+      (unless ``allow_partial_tail=False``)
+
+    Errors surface lazily, during iteration; construction only rejects
+    directories.
     """
-    if os.path.isdir(path):
-        raise TraceFileError(
-            f"{path} is a directory, not a JSONL trace file — pass the "
-            f".jsonl file written by MEDEA_TRACE_OUT / --trace-out"
-        )
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            text = handle.read()
-    except OSError as exc:
-        raise TraceFileError(f"cannot read trace file {path}: {exc}") from exc
-    if _looks_like_bench_document(text):
-        raise TraceFileError(
-            f"{path} is a BENCH_*.json benchmark results file, not a JSONL "
-            f"trace — use 'repro bench-compare' for benchmark documents"
-        )
-    lines = [
-        (number, line.strip())
-        for number, line in enumerate(text.splitlines(), start=1)
-        if line.strip()
-    ]
-    trace = TraceFile(path=path)
-    for position, (number, line) in enumerate(lines):
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if allow_partial_tail and position == len(lines) - 1:
-                trace.truncated = True
-                break
+
+    def __init__(self, path: str, *, allow_partial_tail: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.allow_partial_tail = allow_partial_tail
+        self.truncated = False
+        self.events_read = 0
+        if os.path.isdir(self.path):
             raise TraceFileError(
-                f"{path}: corrupt JSON on line {number}: {exc.msg}"
-            ) from exc
-        if not isinstance(event, dict) or "kind" not in event:
-            raise TraceFileError(
-                f"{path}: line {number} is valid JSON but not a trace event "
-                f"(no 'kind' field) — this is not a MEDEA_TRACE event stream"
+                f"{self.path} is a directory, not a trace file — pass the "
+                f".jsonl/.mtrc file written by MEDEA_TRACE_OUT / --trace-out"
             )
-        trace.events.append(event)
-    if not trace.events:
-        raise TraceFileError(f"{path}: trace contains no events")
-    return trace
+
+    @property
+    def format(self) -> str:
+        """``"mtrc"`` or ``"jsonl"`` (extension first, then magic sniff)."""
+        from .mtrc import is_mtrc_file
+
+        if self.path.endswith(".mtrc") or is_mtrc_file(self.path):
+            return "mtrc"
+        return "jsonl"
+
+    def __iter__(self):
+        if self.format == "mtrc":
+            yield from self._iter_mtrc()
+        else:
+            yield from self._iter_jsonl()
+        if self.events_read == 0:
+            raise TraceFileError(f"{self.path}: trace contains no events")
+
+    def _iter_mtrc(self):
+        from .mtrc import MtrcFormatError, MtrcReader
+
+        reader = MtrcReader(self.path)
+        try:
+            for obj in reader:
+                self.events_read += 1
+                yield obj
+        except MtrcFormatError as exc:
+            raise TraceFileError(str(exc)) from exc
+        except OSError as exc:
+            raise TraceFileError(
+                f"cannot read trace file {self.path}: {exc}"
+            ) from exc
+        if reader.truncated:
+            if not self.allow_partial_tail:
+                raise TraceFileError(f"{self.path}: truncated trailing chunk")
+            self.truncated = True
+
+    def _iter_jsonl(self):
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except OSError as exc:
+            raise TraceFileError(
+                f"cannot read trace file {self.path}: {exc}"
+            ) from exc
+        with handle:
+            for number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    # Tolerate a corrupt *final* line (crashed run); a
+                    # corrupt line with more data after it is an error.
+                    if self.allow_partial_tail and not any(
+                        rest.strip() for rest in handle
+                    ):
+                        self.truncated = True
+                        return
+                    self._diagnose_document()
+                    raise TraceFileError(
+                        f"{self.path}: corrupt JSON on line {number}: {exc.msg}"
+                    ) from exc
+                if not isinstance(event, dict) or "kind" not in event:
+                    self._diagnose_event(event, number)
+                self.events_read += 1
+                yield event
+
+    def _diagnose_document(self) -> None:
+        """Raise a mix-up-specific error when the whole file is one JSON
+        document (pretty-printed, so its lines are not valid JSONL)."""
+        try:
+            if os.path.getsize(self.path) > _DIAGNOSIS_MAX_BYTES:
+                return
+            with open(self.path, "r", encoding="utf-8") as handle:
+                doc = json.loads(handle.read())
+        except (OSError, ValueError):
+            return
+        self._raise_for_mixup(doc)
+
+    def _diagnose_event(self, event: Any, number: int) -> None:
+        if isinstance(event, dict):
+            self._raise_for_mixup(event)
+        raise TraceFileError(
+            f"{self.path}: line {number} is valid JSON but not a trace event "
+            f"(no 'kind' field) — this is not a MEDEA_TRACE event stream"
+        )
+
+    def _raise_for_mixup(self, doc: Any) -> None:
+        if not isinstance(doc, dict):
+            return
+        from .rollup import ROLLUP_SCHEMA
+
+        if doc.get("schema") == ROLLUP_SCHEMA:
+            raise TraceFileError(
+                f"{self.path} is a ROLLUP_*.json streaming-rollup document, "
+                f"not a raw trace — pass it to 'repro dashboard' directly"
+            )
+        if "benchmarks" in doc or "schema" in doc:
+            raise TraceFileError(
+                f"{self.path} is a BENCH_*.json benchmark results file, not "
+                f"a trace — use 'repro bench-compare' for benchmark documents"
+            )
 
 
-def _looks_like_bench_document(text: str) -> bool:
-    """True for whole-file JSON benchmark results (schema-2 ``BENCH_*.json``):
-    a single dict spanning multiple lines with benchmark result keys."""
-    stripped = text.lstrip()
-    if not stripped.startswith("{"):
-        return False
-    # A one-line dict could be a single-event trace; only whole-file
-    # documents (pretty-printed, so not valid JSONL) are candidates.
-    if len(stripped.splitlines()) < 2:
-        return False
-    try:
-        doc = json.loads(text)
-    except ValueError:
-        return False
-    return isinstance(doc, dict) and (
-        "benchmarks" in doc or "schema" in doc
-    )
+def iter_trace(path: str, *, allow_partial_tail: bool = True) -> TraceReader:
+    """Streaming reader over a recorded trace (JSONL or ``.mtrc``)."""
+    return TraceReader(path, allow_partial_tail=allow_partial_tail)
+
+
+def read_trace(path: str, *, allow_partial_tail: bool = True) -> TraceFile:
+    """Parse a trace file eagerly into a list (see :class:`TraceReader`
+    for the error contract; prefer :func:`iter_trace` for large files)."""
+    reader = TraceReader(path, allow_partial_tail=allow_partial_tail)
+    events = list(reader)
+    return TraceFile(path=path, events=events, truncated=reader.truncated)
 
 
 def read_jsonl(path: str) -> list[dict[str, Any]]:
-    """Load a JSONL trace file into raw event dicts (see :func:`read_trace`
+    """Load a trace file into raw event dicts (see :func:`read_trace`
     for the error contract)."""
     return read_trace(path).events
 
@@ -198,22 +284,33 @@ def render_timers(snapshot: Mapping[str, Any]) -> str:
 
 
 def render_trace_report(path: str) -> str:
-    """Full report for a JSONL trace file: per-kind counts plus the span of
-    simulated time covered and how many events carry wall-clock data."""
-    trace = read_trace(path)
-    events = trace.events
+    """Full report for a trace file (JSONL or ``.mtrc``): per-kind counts
+    plus the span of simulated time covered and how many events carry
+    wall-clock data.  Streams the file — a million-event trace is never
+    resident in memory."""
+    reader = iter_trace(path)
+    counts: _Counter[str] = _Counter()
+    t_min: float | None = None
+    t_max: float | None = None
+    with_wall = 0
+    total = 0
+    for event in reader:
+        total += 1
+        counts[event.get("kind", "?")] += 1
+        t = event.get("time")
+        if t is not None:
+            t_min = t if t_min is None else min(t_min, t)
+            t_max = t if t_max is None else max(t_max, t)
+        if WALL_KEY in event:
+            with_wall += 1
     parts = [banner(f"trace report: {path}")]
-    parts.append(render_event_counts(events))
-    times = [e["time"] for e in events if "time" in e]
-    if times:
-        parts.append(
-            f"\nsimulated time span: {min(times):.3f}s .. {max(times):.3f}s"
-        )
-    with_wall = sum(1 for e in events if WALL_KEY in e)
-    parts.append(
-        f"events: {len(events)} total, {with_wall} with wall-clock fields"
-    )
-    if trace.truncated:
+    rows = [[kind, count] for kind, count in sorted(counts.items())]
+    rows.append(["TOTAL", total])
+    parts.append(render_table(["event kind", "count"], rows))
+    if t_min is not None:
+        parts.append(f"\nsimulated time span: {t_min:.3f}s .. {t_max:.3f}s")
+    parts.append(f"events: {total} total, {with_wall} with wall-clock fields")
+    if reader.truncated:
         parts.append("warning: trailing partial line ignored (crashed run?)")
     return "\n".join(parts)
 
@@ -230,25 +327,39 @@ def build_dashboard(
 ) -> dict[str, Any]:
     """Assemble the full dashboard summary for one trace file.
 
-    Runs the timeline aggregator, the replayer, and the SLO monitor (the
-    default smoke rules unless ``rules`` is given) over a single parse of
-    the trace.  Deterministic results (series from ``data`` payloads, SLO
-    verdicts over them, replay outcome) sit at the top level; anything
-    derived from wall-clock measurements sits under ``"wall"``.
+    Runs the timeline aggregator, the replayer, the span profiler, the
+    critical-path builder, and the SLO monitor (the default smoke rules
+    unless ``rules`` is given) over a **single streaming pass** of the
+    trace (JSONL or ``.mtrc``) — resident memory is bounded by the
+    aggregates, not the trace length.  Deterministic results (series from
+    ``data`` payloads, SLO verdicts over them, replay outcome) sit at the
+    top level; anything derived from wall-clock measurements sits under
+    ``"wall"``.
     """
-    from .profile import build_profile, critical_paths
-    from .replay import replay_events
+    from .events import EventKind
+    from .profile import CriticalPathBuilder, ProfileReport
+    from .replay import ReplayState
     from .slo import SLOMonitor, default_smoke_slos
     from .timeline import DEFAULT_MAX_POINTS, DEFAULT_TICK_S, TimelineAggregator
 
-    trace = read_trace(trace_path)
+    reader = iter_trace(trace_path)
     timeline = TimelineAggregator(
         tick_s=DEFAULT_TICK_S if tick_s is None else tick_s,
         max_points=DEFAULT_MAX_POINTS if max_points is None else max_points,
     )
-    timeline.consume_all(trace.events)
-    replay = replay_events(trace.events)
-    if trace.truncated:
+    replay_state = ReplayState()
+    profile = ProfileReport()
+    path_builder = CriticalPathBuilder()
+    span_kind = EventKind.SPAN
+    for obj in reader:
+        timeline.consume(obj)
+        replay_state.feed(obj)
+        if obj.get("kind") == span_kind:
+            profile.add(obj)
+        else:
+            path_builder.feed(obj)
+    replay = replay_state.finish()
+    if reader.truncated:
         replay.warnings.append("trailing partial line ignored (crashed run?)")
     monitor = SLOMonitor(default_smoke_slos() if rules is None else list(rules))
     slo_report = monitor.evaluate(timeline)
@@ -272,11 +383,10 @@ def build_dashboard(
     # level; every wall-clock timing (span durations, per-app solver time)
     # is hoisted under the summary's single top-level "wall" key so the
     # byte-determinism contract over the stripped summary keeps holding.
-    profile = build_profile(trace.events)
     summary["profile"] = profile.to_obj()
     path_objs: list[dict[str, Any]] = []
     paths_wall: dict[str, Any] = {}
-    for app_path in critical_paths(trace.events):
+    for app_path in path_builder.result():
         obj = app_path.to_obj()
         paths_wall[app_path.app_id] = obj.pop(WALL_KEY)
         path_objs.append(obj)

@@ -44,7 +44,8 @@ from urllib.request import Request, urlopen
 from ..version import build_info, server_banner, user_agent
 from .events import TraceEvent
 from .log import get_run_logger
-from .metrics import Metrics, get_metrics
+from .metrics import Metrics, get_metrics, parse_label_key
+from .rollup import RollupState
 from .timeline import DEFAULT_MAX_POINTS, DEFAULT_TICK_S, TimelineAggregator
 from .trace import Tracer, get_tracer, set_tracer
 
@@ -136,12 +137,15 @@ def _prom_escape(value: str) -> str:
 
 def _prom_labels(label_key: str, extra: Mapping[str, Any] | None = None) -> str:
     """Render a canonical ``k=v,k2=v2`` label key (plus extras) as
-    ``{k="v",k2="v2"}``; empty string when there are no labels."""
+    ``{k="v",k2="v2"}``; empty string when there are no labels.
+
+    The key is decoded with :func:`repro.obs.metrics.parse_label_key`
+    (not a naive split) so label values containing commas, equals signs,
+    or backslashes survive, then re-escaped per the Prometheus 0.0.4
+    exposition rules."""
     pairs: list[tuple[str, str]] = []
-    if label_key:
-        for part in label_key.split(","):
-            key, _, value = part.partition("=")
-            pairs.append((_prom_name(key), _prom_escape(value)))
+    for key, value in parse_label_key(label_key):
+        pairs.append((_prom_name(key), _prom_escape(value)))
     for key, value in (extra or {}).items():
         pairs.append((_prom_name(key), _prom_escape(str(value))))
     if not pairs:
@@ -231,7 +235,10 @@ class TelemetryServer:
         self.port = port  # requested; updated to the bound port on start()
         self._metrics = metrics
         self.health = HealthState(deadline_s)
-        self.aggregator = TimelineAggregator(tick_s=tick_s, max_points=max_points)
+        #: The live aggregate behind /snapshot — shared with the on-disk
+        #: rollup sink when both planes are enabled (see
+        #: :func:`repro.obs.rollup.install_rollup`).
+        self.rollup = RollupState(tick_s=tick_s, max_points=max_points)
         self.sink = _TelemetrySink(self)
         self._lock = threading.Lock()
         self._httpd: ThreadingHTTPServer | None = None
@@ -242,12 +249,17 @@ class TelemetryServer:
     def metrics(self) -> Metrics:
         return self._metrics if self._metrics is not None else get_metrics()
 
+    @property
+    def aggregator(self) -> TimelineAggregator:
+        """The rollup state's timeline (kept for API compatibility)."""
+        return self.rollup.timeline
+
     # -- event intake --------------------------------------------------------
 
     def observe(self, event: TraceEvent) -> None:
-        """Fold one live trace event into the timeline and the heartbeat."""
+        """Fold one live trace event into the rollup state and the heartbeat."""
         with self._lock:
-            self.aggregator.emit(event)
+            self.rollup.observe_event(event)
             self.health.beat(event.time)
 
     def beat(self, tick: float | None = None) -> None:
@@ -266,11 +278,12 @@ class TelemetryServer:
         return (200 if alive else 503), payload
 
     def snapshot_doc(self) -> dict[str, Any]:
-        """The live dashboard summary: the timeline aggregator's series
-        (volatile ones under ``"wall"``, as usual) plus build identity and
-        the health payload (volatile → under ``"wall"`` too)."""
+        """The live dashboard summary, served from the shared rollup
+        state: the timeline's series (volatile ones under ``"wall"``, as
+        usual) and the bounded span profile, plus build identity and the
+        health payload (volatile → under ``"wall"`` too)."""
         with self._lock:
-            summary = self.aggregator.summary()
+            summary = self.rollup.summary()
             _, health = self.health.status()
         summary["meta"]["build"] = build_info()
         wall = summary.setdefault("wall", {})

@@ -244,13 +244,15 @@ class TimelineAggregator:
         tick_s: float = DEFAULT_TICK_S,
         max_points: int = DEFAULT_MAX_POINTS,
     ) -> "TimelineAggregator":
-        """Build a timeline from a recorded JSONL trace (tolerates a
-        trailing partial line; raises
+        """Build a timeline from a recorded trace file — JSONL or ``.mtrc``
+        — streaming one event at a time (constant memory; tolerates a
+        trailing partial line/chunk; raises
         :class:`~repro.obs.report.TraceFileError` on unusable files)."""
-        from .report import read_trace
+        from .report import iter_trace
 
         aggregator = cls(tick_s=tick_s, max_points=max_points)
-        aggregator.consume_all(read_trace(path).events)
+        for obj in iter_trace(path):
+            aggregator.consume(obj)
         return aggregator
 
     # -- per-kind handlers ----------------------------------------------------

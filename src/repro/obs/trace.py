@@ -22,9 +22,17 @@ from __future__ import annotations
 
 import io
 import os
+from time import perf_counter
 from typing import Any, Iterable, Mapping, TextIO
 
 from .events import TraceEvent
+from .sample import (
+    PROTECTED_KINDS as _PROTECTED_KINDS,
+    _TERMINAL_KINDS,
+    SamplingPolicy,
+    TraceSampler,
+    parse_sample_spec,
+)
 
 __all__ = [
     "TraceSink",
@@ -35,11 +43,16 @@ __all__ = [
     "set_tracer",
     "configure",
     "configure_from_env",
+    "open_trace_sink",
 ]
 
 #: Environment variables read by :func:`configure_from_env`.
 ENV_TRACE = "MEDEA_TRACE"
 ENV_TRACE_OUT = "MEDEA_TRACE_OUT"
+#: Sampling-policy spec applied to the configured tracer (see
+#: :class:`repro.obs.sample.SamplingPolicy`), e.g.
+#: ``MEDEA_TRACE_SAMPLE="heartbeat=0.01,task=0.1,seed=7"``.
+ENV_TRACE_SAMPLE = "MEDEA_TRACE_SAMPLE"
 
 
 class TraceSink:
@@ -117,14 +130,95 @@ class Tracer:
     ``enabled`` is a plain attribute so the hot-path guard is a single
     attribute read.  ``emit`` is still safe to call while disabled (it is a
     no-op), but guarded call sites avoid even building the payload.
+
+    With a :class:`~repro.obs.sample.TraceSampler` attached, the sampling
+    decision happens *before* the event object exists and before a
+    sequence number is consumed, so the kept stream is contiguous and the
+    canonical trace for a given seed + sampling spec is byte-stable.
+
+    The tracer accounts its own cost: ``events_seen`` / ``events_emitted``
+    / ``events_dropped`` counters (deterministic for a given seed and
+    spec) and ``overhead_s``, the cumulative wall time spent inside
+    :meth:`emit` (volatile; surfaced as ``obs_overhead_seconds``).
     """
 
     def __init__(
-        self, sinks: Iterable[TraceSink] = (), *, enabled: bool = True
+        self,
+        sinks: Iterable[TraceSink] = (),
+        *,
+        enabled: bool = True,
+        sampler: TraceSampler | None = None,
     ) -> None:
         self.sinks: list[TraceSink] = list(sinks)
         self.enabled = enabled
+        self.sampler = sampler
         self._seq = 0
+        self.events_emitted = 0
+        self.events_dropped = 0
+        self.overhead_s = 0.0
+
+    @property
+    def events_seen(self) -> int:
+        """Events offered to the tracer (kept + sampled out).  Derived, so
+        the per-event hot paths pay for one counter update, not two."""
+        return self.events_emitted + self.events_dropped
+
+    def kind_enabled(self, kind: str) -> bool:
+        """Whether events of ``kind`` can ever be emitted under the current
+        sampling policy — ``False`` exactly when the policy pins the kind's
+        rate to 0 (and it is not protected).
+
+        Unlike :meth:`wants` this involves no per-event state, so a dense
+        emitter (e.g. the engine's dispatch loop) may latch it once per run
+        and skip its whole tracing block: suppressed-at-source events are
+        not offered to the tracer and do not appear in ``events_seen``.
+        Callers must re-latch per run because the ambient tracer or its
+        policy can be reconfigured between runs.
+        """
+        if not self.enabled:
+            return False
+        sampler = self.sampler
+        if sampler is None or kind in _PROTECTED_KINDS:
+            return True
+        return sampler.policy.rate_for(kind) != 0.0
+
+    def wants(self, kind: str, key: str | None = None) -> bool:
+        """Pre-flight sampling gate for hot call sites.
+
+        ``False`` means the event would certainly be dropped, so the
+        caller can skip building the payload dict entirely — the
+        difference between ~1µs and ~10µs per suppressed event, which is
+        what keeps dense streams (per-task lifecycle, engine dispatch)
+        within the observability budget at scale.  Suppressed events are
+        still accounted in ``events_seen`` / ``events_dropped``.
+
+        ``key`` is the event's sampling identity (what
+        :meth:`TraceSampler.sample` would extract from the payload:
+        app/task/container id); pass it for keyed lifecycles so the
+        head-based decision is shared with ungated call sites.  Keyless
+        kinds are only suppressed at rate 0 — fractional keyless rates
+        return ``True`` and let :meth:`emit` decide.
+
+        The kept stream is byte-identical whether or not a call site is
+        gated; ``wants`` only changes who pays for dropped events.
+        """
+        if not self.enabled:
+            return False
+        sampler = self.sampler
+        if sampler is None:
+            return True
+        if key is not None:
+            keep = sampler._decisions.get(key)
+            if keep is None:
+                keep = sampler.prefilter(kind, key)
+            if keep or kind in _PROTECTED_KINDS:
+                return True
+            if kind in _TERMINAL_KINDS:
+                sampler._decisions.pop(key, None)
+        elif sampler.prefilter(kind, None):
+            return True
+        self.events_dropped += 1
+        return False
 
     def add_sink(self, sink: TraceSink) -> TraceSink:
         self.sinks.append(sink)
@@ -141,16 +235,40 @@ class Tracer:
         data: Mapping[str, Any] | None = None,
         wall: Mapping[str, Any] | None = None,
     ) -> TraceEvent | None:
-        """Build and dispatch one event; returns it (``None`` if disabled)."""
+        """Build and dispatch one event; returns it (``None`` if disabled
+        or sampled out)."""
         if not self.enabled:
             return None
+        t0 = perf_counter()
+        if self.sampler is not None:
+            keep, data = self.sampler.sample(kind, data or {})
+            if not keep:
+                self.events_dropped += 1
+                self.overhead_s += perf_counter() - t0
+                return None
         event = TraceEvent(
             kind=kind, seq=self._seq, time=time, data=data or {}, wall=wall
         )
         self._seq += 1
         for sink in self.sinks:
             sink.emit(event)
+        self.events_emitted += 1
+        self.overhead_s += perf_counter() - t0
         return event
+
+    def self_stats(self) -> dict[str, Any]:
+        """The tracer's own cost accounting (``overhead_s`` is volatile;
+        the counters are deterministic for a fixed seed + sampling spec)."""
+        stats: dict[str, Any] = {
+            "events_seen": self.events_seen,
+            "events_emitted": self.events_emitted,
+            "events_dropped": self.events_dropped,
+            "overhead_s": round(self.overhead_s, 6),
+            "sampling": (
+                self.sampler.policy.describe() if self.sampler is not None else None
+            ),
+        }
+        return stats
 
     def close(self) -> None:
         for sink in self.sinks:
@@ -176,19 +294,42 @@ def set_tracer(tracer: Tracer | None) -> Tracer:
     return previous
 
 
+def open_trace_sink(path: str | os.PathLike) -> TraceSink:
+    """File sink for a trace output path, chosen by extension:
+    ``.mtrc`` → the columnar :class:`~repro.obs.mtrc.MtrcSink`, anything
+    else → :class:`JsonlSink`."""
+    if os.fspath(path).endswith(".mtrc"):
+        from .mtrc import MtrcSink
+
+        return MtrcSink(path)
+    return JsonlSink(path)
+
+
 def configure(
     *,
     jsonl_path: str | os.PathLike | None = None,
     memory: bool = False,
     enabled: bool = True,
+    sample: str | SamplingPolicy | None = None,
 ) -> Tracer:
-    """Build a tracer with the requested sinks and install it as default."""
+    """Build a tracer with the requested sinks and install it as default.
+
+    ``jsonl_path`` names the trace output file; a ``.mtrc`` extension
+    selects the columnar container instead of JSONL.  ``sample`` attaches
+    a deterministic sampling policy (a spec string or a parsed
+    :class:`~repro.obs.sample.SamplingPolicy`); trivial policies (all
+    rates 1.0) are dropped so an unsampled tracer stays hook-free.
+    """
     sinks: list[TraceSink] = []
     if jsonl_path is not None:
-        sinks.append(JsonlSink(jsonl_path))
+        sinks.append(open_trace_sink(jsonl_path))
     if memory:
         sinks.append(MemorySink())
-    tracer = Tracer(sinks, enabled=enabled)
+    policy = SamplingPolicy.parse(sample) if isinstance(sample, str) else sample
+    sampler = (
+        TraceSampler(policy) if policy is not None and not policy.trivial else None
+    )
+    tracer = Tracer(sinks, enabled=enabled, sampler=sampler)
     set_tracer(tracer)
     return tracer
 
@@ -196,11 +337,13 @@ def configure(
 def configure_from_env(environ: Mapping[str, str] | None = None) -> Tracer | None:
     """Enable tracing when ``MEDEA_TRACE`` is set to a truthy value.
 
-    ``MEDEA_TRACE_OUT`` names the JSONL output file (default
-    ``medea_trace.jsonl`` in the working directory).  Returns the installed
-    tracer, or ``None`` when tracing is not requested.  Does nothing if an
-    enabled tracer is already installed (idempotent under repeated calls,
-    e.g. from both a CLI entry point and the benchmark harness).
+    ``MEDEA_TRACE_OUT`` names the trace output file (default
+    ``medea_trace.jsonl``; a ``.mtrc`` extension selects the columnar
+    container) and ``MEDEA_TRACE_SAMPLE`` attaches a sampling policy.
+    Returns the installed tracer, or ``None`` when tracing is not
+    requested.  Does nothing if an enabled tracer is already installed
+    (idempotent under repeated calls, e.g. from both a CLI entry point and
+    the benchmark harness).
     """
     env = os.environ if environ is None else environ
     flag = env.get(ENV_TRACE, "").strip().lower()
@@ -209,4 +352,6 @@ def configure_from_env(environ: Mapping[str, str] | None = None) -> Tracer | Non
     if _default_tracer.enabled:
         return _default_tracer
     path = env.get(ENV_TRACE_OUT, "medea_trace.jsonl")
-    return configure(jsonl_path=path)
+    return configure(
+        jsonl_path=path, sample=parse_sample_spec(env.get(ENV_TRACE_SAMPLE))
+    )

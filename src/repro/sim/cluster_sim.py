@@ -312,7 +312,7 @@ class ClusterSimulation:
         if task_id in self.state.containers:
             self.task_scheduler.release_task(task_id, now=self.engine.now)
             tracer = self.tracer
-            if tracer.enabled:
+            if tracer.enabled and tracer.wants(EventKind.TASK_FINISH, task_id):
                 tracer.emit(
                     EventKind.TASK_FINISH,
                     time=self.engine.now,

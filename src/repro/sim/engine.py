@@ -145,10 +145,17 @@ class SimulationEngine:
     def pending(self) -> int:
         return sum(1 for e in self._queue if not e.cancelled)
 
-    def _dispatch(self, event: _Event) -> None:
+    def _dispatch(self, event: _Event, traced: bool | None = None) -> None:
         self.now = event.time
         tracer = self.tracer
-        if tracer.enabled:
+        # ``traced`` is the run-level latch (see ``Tracer.kind_enabled``):
+        # the dispatch stream is the densest in the system, so a rate-0
+        # sampling policy must cost one bool check here, not a call.
+        if traced is None:
+            traced = tracer.enabled and tracer.kind_enabled(
+                EventKind.ENGINE_DISPATCH
+            )
+        if traced:
             tracer.emit(
                 EventKind.ENGINE_DISPATCH,
                 time=event.time,
@@ -187,6 +194,8 @@ class SimulationEngine:
 
     def _run(self, until: float | None) -> float:
         self._running = True
+        tracer = self.tracer
+        traced = tracer.enabled and tracer.kind_enabled(EventKind.ENGINE_DISPATCH)
         try:
             while self._queue:
                 event = self._queue[0]
@@ -195,7 +204,7 @@ class SimulationEngine:
                 heapq.heappop(self._queue)
                 if event.cancelled:
                     continue
-                self._dispatch(event)
+                self._dispatch(event, traced)
             if until is not None and until > self.now:
                 self.now = until
         finally:

@@ -106,7 +106,7 @@ class TaskBasedScheduler(abc.ABC):
             self._pending_locality += 1
         self.metrics.counter("task_submitted_total").inc(queue=task.queue)
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.enabled and tracer.wants(EventKind.TASK_SUBMIT, task.task_id):
             tracer.emit(
                 EventKind.TASK_SUBMIT,
                 time=now,
@@ -193,6 +193,8 @@ class TaskBasedScheduler(abc.ABC):
         tracer = self.tracer
         if tracer.enabled:
             for allocation in allocations:
+                if not tracer.wants(EventKind.TASK_ALLOCATE, allocation.task_id):
+                    continue
                 tracer.emit(
                     EventKind.TASK_ALLOCATE,
                     time=now,
@@ -215,7 +217,7 @@ class TaskBasedScheduler(abc.ABC):
             self.queues.queue(queue_name).refund(placed.allocation.resource)
         self.metrics.counter("task_released_total").inc()
         tracer = self.tracer
-        if tracer.enabled:
+        if tracer.enabled and tracer.wants(EventKind.TASK_RELEASE, task_id):
             tracer.emit(
                 EventKind.TASK_RELEASE,
                 time=now,

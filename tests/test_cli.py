@@ -63,3 +63,160 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "LRAs placed" in out
         assert "tasks allocated" in out
+
+
+class TestTraceSampleFlag:
+    def test_simulate_with_sampled_mtrc_trace(self, tmp_path, capsys):
+        from repro.obs.mtrc import is_mtrc_file
+        from repro.obs.report import read_trace
+        from repro.obs.trace import set_tracer
+
+        out = tmp_path / "run.mtrc"
+        try:
+            assert main([
+                "simulate", "--nodes", "12", "--horizon", "30",
+                "--lras", "1", "--tasks", "20",
+                "--trace-out", str(out),
+                "--trace-sample", "task=0.5,dispatch=0,seed=3",
+            ]) == 0
+        finally:
+            set_tracer(None)  # drop the CLI-installed ambient tracer
+        assert is_mtrc_file(out)
+        events = read_trace(str(out)).events
+        assert events
+        assert all(e["kind"] != "engine.dispatch" for e in events)
+
+    def test_trace_sample_requires_destination(self):
+        with pytest.raises(SystemExit, match="trace destination"):
+            main(["simulate", "--nodes", "8", "--horizon", "10",
+                  "--lras", "0", "--tasks", "0",
+                  "--trace-sample", "task=0.5"])
+
+    def test_malformed_sample_spec_exits(self, tmp_path):
+        from repro.obs.trace import set_tracer
+
+        try:
+            with pytest.raises(SystemExit, match="trace-sample"):
+                main(["simulate", "--nodes", "8", "--horizon", "10",
+                      "--lras", "0", "--tasks", "0",
+                      "--trace-out", str(tmp_path / "t.jsonl"),
+                      "--trace-sample", "task=nope"])
+        finally:
+            set_tracer(None)
+
+
+class TestTraceToolsOnMtrc:
+    @pytest.fixture()
+    def mtrc_trace(self, tmp_path):
+        """A small simulated trace recorded straight into .mtrc."""
+        from repro.obs.trace import set_tracer
+
+        out = tmp_path / "run.mtrc"
+        try:
+            assert main([
+                "simulate", "--nodes", "12", "--horizon", "30",
+                "--lras", "1", "--tasks", "20", "--trace-out", str(out),
+            ]) == 0
+        finally:
+            set_tracer(None)
+        return out
+
+    def test_trace_report_reads_mtrc(self, mtrc_trace, capsys):
+        capsys.readouterr()
+        assert main(["trace-report", str(mtrc_trace)]) == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_dashboard_reads_mtrc(self, mtrc_trace, tmp_path, capsys):
+        json_out = tmp_path / "dash.json"
+        assert main(["dashboard", str(mtrc_trace),
+                     "--json", str(json_out)]) == 0
+        assert "SLO" in capsys.readouterr().out
+        import json as _json
+
+        assert _json.loads(json_out.read_text())["series"]
+
+    def test_profile_memory_flag(self, mtrc_trace, capsys):
+        assert main(["profile", str(mtrc_trace), "--memory"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest peak (tracemalloc)" in out
+        assert "process peak RSS" in out
+
+    def test_streaming_ingest_memory_is_bounded(self, tmp_path):
+        """trace-report must not load the whole file: peak ingest
+        allocation stays far below the trace's size (satellite: a
+        1M-event JSONL must not be read into memory — scaled down here,
+        the bound is what matters)."""
+        import json as _json
+        import tracemalloc
+
+        from repro.obs.report import iter_trace
+
+        path = tmp_path / "big.jsonl"
+        with open(path, "w") as handle:
+            for i in range(120_000):
+                handle.write(_json.dumps({
+                    "kind": "task.allocate", "seq": i, "time": float(i),
+                    "data": {"task_id": f"t-{i}", "node_id": f"n-{i % 50}",
+                             "mem_mb": 1024},
+                }) + "\n")
+        file_size = path.stat().st_size
+        assert file_size > 10 * 1024 * 1024  # a genuinely big input
+
+        tracemalloc.start()
+        count = sum(1 for _ in iter_trace(str(path)))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert count == 120_000
+        assert peak < file_size / 4, (
+            f"ingest peak {peak}B vs file {file_size}B — not streaming"
+        )
+
+
+class TestBenchCompareSeries:
+    def _doc(self, ratio_value):
+        return {
+            "schema": 2,
+            "benchmarks": {
+                "obs:overhead": {
+                    "scheduler": "x", "nodes": 1, "apps": 1,
+                    "series": {"obs_overhead_ratio": {
+                        "t": [0.0], "v": [ratio_value]}},
+                    "stats": {"obs_overhead_ratio": {
+                        "count": 1, "median": ratio_value,
+                        "p95": ratio_value}},
+                },
+            },
+        }
+
+    def test_series_flag_gates_overhead_ratio(self, tmp_path, capsys):
+        import json as _json
+
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        baseline.write_text(_json.dumps(self._doc(1.05)))
+        current.write_text(_json.dumps(self._doc(1.30)))
+        # Not gated by default (obs_overhead_ratio is opt-in)...
+        assert main(["bench-compare", str(baseline), str(current)]) == 0
+        capsys.readouterr()
+        # ...but --series pulls it into the gate, and 1.30 > 1.05*1.05+0.02.
+        assert main(["bench-compare", str(baseline), str(current),
+                     "--series", "obs_overhead_ratio",
+                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_committed_obs_baseline_is_usable(self, tmp_path, capsys):
+        """The repo's committed overhead baseline loads and gates: a
+        within-budget run passes, an over-budget run fails."""
+        import json as _json
+
+        baseline = "benchmarks/baselines/BENCH_obs_baseline.json"
+        ok = tmp_path / "ok.json"
+        ok.write_text(_json.dumps(self._doc(1.04)))
+        assert main(["bench-compare", baseline, str(ok),
+                     "--series", "obs_overhead_ratio",
+                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(_json.dumps(self._doc(1.40)))
+        assert main(["bench-compare", baseline, str(bad),
+                     "--series", "obs_overhead_ratio",
+                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 1

@@ -1,0 +1,241 @@
+"""The ``.mtrc`` columnar trace container (``repro.obs.mtrc``).
+
+Round-trip fidelity against JSONL, the streaming reader's error contract
+(clean EOF, truncated tail tolerance, mid-file corruption), transparent
+consumption through ``read_trace`` / ``iter_trace``, the ``repro
+trace-convert`` CLI, and the size win the format exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.obs.events import TraceEvent
+from repro.obs.mtrc import (
+    CHUNK_EVENTS,
+    MTRC_MAGIC,
+    MtrcFormatError,
+    MtrcReader,
+    MtrcSink,
+    is_mtrc_file,
+    iter_mtrc,
+    read_mtrc,
+    write_mtrc,
+)
+from repro.obs.report import TraceFileError, iter_trace, read_trace
+from repro.obs.trace import JsonlSink, Tracer, open_trace_sink
+
+
+def _events(n: int) -> list[dict]:
+    """A representative mixed stream: varying kinds, optional time/wall,
+    nested data, unicode."""
+    out = []
+    for i in range(n):
+        obj = {"kind": f"task.{('submit', 'allocate', 'release')[i % 3]}",
+               "seq": i}
+        if i % 4 != 3:
+            obj["time"] = i * 0.5
+        if i % 2 == 0:
+            obj["data"] = {"task_id": f"t-{i}", "rack": f"ra—ck-{i % 5}",
+                           "nested": {"mem": 1024, "tags": ["a", "b"]}}
+        if i % 7 == 0:
+            obj["wall"] = {"duration_s": 0.001 * i}
+        out.append(obj)
+    return out
+
+
+class TestRoundTrip:
+    def test_write_read_equality(self, tmp_path):
+        events = _events(100)
+        path = tmp_path / "t.mtrc"
+        assert write_mtrc(path, events) == 100
+        assert read_mtrc(path) == events
+
+    def test_multi_chunk_round_trip(self, tmp_path):
+        events = _events(50)
+        path = tmp_path / "t.mtrc"
+        sink = MtrcSink(path, chunk_events=7)  # force many chunks
+        for obj in events:
+            sink.append_obj(obj)
+        sink.close()
+        assert read_mtrc(path) == events
+
+    def test_tracer_sink_matches_jsonl_sink(self, tmp_path):
+        mpath, jpath = tmp_path / "t.mtrc", tmp_path / "t.jsonl"
+        for sink_cls, path in ((MtrcSink, mpath), (JsonlSink, jpath)):
+            tracer = Tracer([sink_cls(path)])
+            for i in range(40):
+                tracer.emit("task.submit", time=float(i),
+                            data={"task_id": f"t-{i}"})
+            tracer.close()
+        jsonl_events = [json.loads(line) for line in open(jpath)]
+        assert read_mtrc(mpath) == jsonl_events
+
+    def test_event_objects_round_trip(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        sink = MtrcSink(path)
+        event = TraceEvent(kind="lra.place", seq=0, time=4.0,
+                           data={"app_id": "a", "placements": [["c0", "n1"]]},
+                           wall={"solve_s": 0.01})
+        sink.emit(event)
+        sink.close()
+        assert read_mtrc(path) == [event.to_obj()]
+
+    def test_open_trace_sink_selects_by_extension(self, tmp_path):
+        assert isinstance(open_trace_sink(tmp_path / "a.mtrc"), MtrcSink)
+        assert isinstance(open_trace_sink(tmp_path / "a.jsonl"), JsonlSink)
+
+    def test_is_mtrc_file_sniffs_magic(self, tmp_path):
+        path = tmp_path / "renamed.jsonl"  # wrong extension, real mtrc
+        write_mtrc(path, _events(3))
+        assert is_mtrc_file(path)
+        other = tmp_path / "t.mtrc"
+        other.write_text('{"kind": "x", "seq": 0}\n')
+        assert not is_mtrc_file(other)
+        assert not is_mtrc_file(tmp_path / "missing.mtrc")
+
+
+class TestErrorContract:
+    def test_empty_or_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        path.write_bytes(b"")
+        with pytest.raises(MtrcFormatError):
+            read_mtrc(path)
+        path.write_bytes(b"NOPE" + b"\x00" * 4)
+        with pytest.raises(MtrcFormatError):
+            read_mtrc(path)
+
+    def test_newer_version_raises(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        path.write_bytes(struct.pack("<4sHH", MTRC_MAGIC, 99, 0))
+        with pytest.raises(MtrcFormatError, match="version"):
+            read_mtrc(path)
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        """The crashed-run shape: events up to the last complete chunk are
+        served, iteration ends cleanly, ``truncated`` is flagged."""
+        events = _events(30)
+        path = tmp_path / "t.mtrc"
+        sink = MtrcSink(path, chunk_events=10)
+        for obj in events:
+            sink.append_obj(obj)
+        sink.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-11])  # cut into the final chunk
+
+        reader = MtrcReader(path)
+        recovered = list(reader)
+        assert reader.truncated
+        assert recovered == events[:20]  # both complete chunks survive
+
+    def test_corrupt_mid_file_raises(self, tmp_path):
+        events = _events(30)
+        path = tmp_path / "t.mtrc"
+        sink = MtrcSink(path, chunk_events=10)
+        for obj in events:
+            sink.append_obj(obj)
+        sink.close()
+        data = bytearray(path.read_bytes())
+        # Flip bytes inside the *first* chunk's blob (after header+length).
+        for offset in range(16, 24):
+            data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(MtrcFormatError, match="corrupt chunk mid-file"):
+            list(MtrcReader(path))
+
+
+class TestTransparentConsumption:
+    def test_read_trace_accepts_both_containers(self, tmp_path):
+        events = _events(25)
+        mpath, jpath = tmp_path / "t.mtrc", tmp_path / "t.jsonl"
+        write_mtrc(mpath, events)
+        jpath.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in events)
+        )
+        assert read_trace(str(mpath)).events == events
+        assert read_trace(str(jpath)).events == events
+        assert list(iter_trace(str(mpath))) == events
+
+    def test_read_trace_flags_mtrc_truncation(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        sink = MtrcSink(path, chunk_events=5)
+        for obj in _events(10):
+            sink.append_obj(obj)
+        sink.close()
+        path.write_bytes(path.read_bytes()[:-3])
+        parsed = read_trace(str(path))
+        assert parsed.truncated
+        assert len(parsed.events) == 5
+
+    def test_read_trace_rejects_empty_mtrc(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        write_mtrc(path, [])
+        with pytest.raises(TraceFileError):
+            read_trace(str(path))
+
+
+class TestConvertCli:
+    def _trace(self, tmp_path, n=60):
+        jpath = tmp_path / "t.jsonl"
+        tracer = Tracer([JsonlSink(jpath)])
+        for i in range(n):
+            tracer.emit("task.submit", time=float(i),
+                        data={"task_id": f"t-{i}", "mem": 1024})
+        tracer.close()
+        return jpath
+
+    def test_jsonl_to_mtrc_and_back(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jpath = self._trace(tmp_path)
+        mpath = tmp_path / "out.mtrc"
+        back = tmp_path / "back.jsonl"
+        assert main(["trace-convert", str(jpath), str(mpath)]) == 0
+        assert is_mtrc_file(mpath)
+        assert main(["trace-convert", str(mpath), str(back)]) == 0
+        # Whitespace may differ; the decoded event stream must not.
+        assert [json.loads(line) for line in open(back)] == [
+            json.loads(line) for line in open(jpath)
+        ]
+        out = capsys.readouterr().out
+        assert "events" in out
+
+    def test_convert_missing_input_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace-convert", str(tmp_path / "nope.jsonl"),
+                     str(tmp_path / "out.mtrc")]) == 1
+        assert capsys.readouterr().err
+
+
+class TestCompression:
+    def test_size_win_on_multi_chunk_trace(self, tmp_path):
+        """The acceptance target: ≥10× smaller than the JSONL encoding of
+        the same stream (realistic repetitive event shapes)."""
+        mpath, jpath = tmp_path / "t.mtrc", tmp_path / "t.jsonl"
+        tracer = Tracer([MtrcSink(mpath), JsonlSink(jpath)])
+        for i in range(3 * CHUNK_EVENTS // 2):  # spans multiple chunks
+            tracer.emit(
+                "task.allocate", time=float(i),
+                data={"task_id": f"s{i // 600}-{i % 600}",
+                      "app_id": f"job-{i % 13}", "node_id": f"node-{i % 200}",
+                      "mem_mb": 1024, "vcores": 1},
+            )
+        tracer.close()
+        jsonl_size = jpath.stat().st_size
+        mtrc_size = mpath.stat().st_size
+        assert mtrc_size * 10 <= jsonl_size, (
+            f"mtrc {mtrc_size}B vs jsonl {jsonl_size}B — "
+            f"only {jsonl_size / mtrc_size:.1f}x"
+        )
+
+    def test_chunks_are_zlib_compressed(self, tmp_path):
+        path = tmp_path / "t.mtrc"
+        write_mtrc(path, _events(20))
+        data = path.read_bytes()
+        (length,) = struct.unpack_from("<I", data, 8)
+        assert zlib.decompress(data[12:12 + length])

@@ -89,6 +89,35 @@ class TestPrometheusRendering:
         assert "weird_name_total" in text
         assert '\\"' in text and "\\n" in text
 
+    def test_label_values_with_separators_survive(self):
+        """A label value containing ``,`` / ``=`` / ``\\`` must come out of
+        /metrics as ONE label, not be split on the canonical-key
+        separators (the naive-split regression)."""
+        from repro.obs.metrics import parse_label_key
+
+        metrics = Metrics()
+        metrics.counter("edge_total").inc(
+            rule="{hb & mem, 1, inf}", path="a\\b=c"
+        )
+        text = render_prometheus(metrics.snapshot())
+        line = next(
+            l for l in text.splitlines() if l.startswith("edge_total{")
+        )
+        assert _PROM_LINE.match(line), line
+        # Exactly the two labels, each with its full (escaped) value.
+        assert line.count("=\"") == 2
+        assert 'rule="{hb & mem, 1, inf}"' in line
+        assert 'path="a\\\\b=c"' in line
+
+        # And the canonical key itself round-trips losslessly.
+        from repro.obs.metrics import _label_key
+
+        labels = {"rule": "{hb & mem, 1, inf}", "path": "a\\b=c",
+                  "nl": "x\ny", "quote": 'a"b'}
+        assert dict(parse_label_key(_label_key(labels))) == {
+            k: str(v) for k, v in labels.items()
+        }
+
     def test_empty_snapshot_renders_empty(self):
         assert render_prometheus(Metrics().snapshot()) == ""
 
@@ -243,9 +272,47 @@ class TestWatchClient:
         from repro.cli import main
 
         # A port with nothing listening (bind-and-close to find one).
+        # --retry-for 0 disables the connection-retry grace period so the
+        # failure is immediate instead of backing off for the default 10s.
         import socket
         with socket.socket() as s:
             s.bind(("127.0.0.1", 0))
             dead_port = s.getsockname()[1]
-        assert main(["watch", str(dead_port), "--count", "1"]) == 1
+        assert main(["watch", str(dead_port), "--count", "1",
+                     "--retry-for", "0"]) == 1
         assert "cannot reach" in capsys.readouterr().err
+
+    def test_watch_retry_waits_for_late_endpoint(self, isolate_obs):
+        """A watcher started before the endpoint binds retries with backoff
+        and succeeds once the server appears (instead of crashing)."""
+        import threading
+
+        from repro.cli import _fetch_snapshot_retrying
+
+        # Reserve a port, start the server on it shortly after the watcher
+        # has already begun retrying against the refused connection.
+        import socket
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+
+        started = threading.Timer(0.6, lambda: install(port))
+        started.start()
+        try:
+            snapshot = _fetch_snapshot_retrying(str(port), retry_for_s=10.0)
+        finally:
+            started.cancel()
+            shutdown_server()
+        assert snapshot["meta"]["build"]["name"] == "repro"
+
+    def test_watch_retry_zero_raises_immediately(self, isolate_obs):
+        from urllib.error import URLError
+
+        from repro.cli import _fetch_snapshot_retrying
+
+        import socket
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            dead_port = s.getsockname()[1]
+        with pytest.raises((URLError, OSError)):
+            _fetch_snapshot_retrying(str(dead_port), retry_for_s=0.0)
