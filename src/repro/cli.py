@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Ten commands, each a thin wrapper over the library:
+Eleven commands, each a thin wrapper over the library:
 
 * ``table1`` — print the paper's scheduler capability matrix.
 * ``parse``  — validate a constraint written in the paper's notation and
@@ -21,11 +21,21 @@ Ten commands, each a thin wrapper over the library:
 * ``profile`` — span profile + per-app critical-path breakdown of a
   trace, with collapsed-stack export for flamegraph.pl / speedscope
   (``--memory`` adds ingest peak-memory accounting).
+* ``diff`` — four-way differential comparison of two recorded runs
+  (traces or rollups): structural first-divergence localization, causal
+  placement-flip explanations from decision audits, and noise-thresholded
+  statistical deltas; ``--fail-on-divergence`` turns it into a CI gate.
 * ``bench-compare`` — gate a ``BENCH_*.json`` run against a committed
   baseline (median/p95 with noise tolerance); exits non-zero on regression.
 * ``watch`` — poll a live telemetry endpoint's ``/snapshot`` into a
   refreshing terminal view (retries with capped exponential backoff while
   the endpoint comes up).
+
+Exit codes are uniform across commands (the :data:`EXIT_OK` family):
+``0`` success, ``1`` unreadable/invalid input data or a runtime failure,
+``2`` usage errors (argparse's convention), ``3`` a CI gate tripped
+(``bench-compare`` regression, ``dashboard --fail-on-breach``,
+``diff --fail-on-divergence``).
 
 Tracing: set ``MEDEA_TRACE=1`` (optionally ``MEDEA_TRACE_OUT=file.jsonl``
 — a ``.mtrc`` extension selects the columnar container) or pass
@@ -48,7 +58,26 @@ import argparse
 import sys
 from typing import Sequence
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_OK",
+    "EXIT_DATA_ERROR",
+    "EXIT_USAGE",
+    "EXIT_GATE",
+]
+
+# -- exit-code semantics ------------------------------------------------------
+#: Command completed successfully.
+EXIT_OK = 0
+#: Input data was unreadable/invalid, or the run itself failed.
+EXIT_DATA_ERROR = 1
+#: Command-line usage error (argparse exits with this itself).
+EXIT_USAGE = 2
+#: A CI gate tripped: bench-compare regression, dashboard --fail-on-breach,
+#: diff --fail-on-divergence.  Distinct from EXIT_DATA_ERROR so CI can tell
+#: "the check ran and failed" from "the check could not run".
+EXIT_GATE = 3
 
 
 def _add_live_plane_args(p: argparse.ArgumentParser) -> None:
@@ -103,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE", default=None,
         help="record the structured event trace to this JSONL file",
     )
+    p_compare.add_argument(
+        "--diff", action="store_true",
+        help="run every scheduler with decision audits on and print a "
+             "pairwise structural/causal diff of each scheduler's "
+             "placement stream against the first (MEDEA-ILP)",
+    )
     _add_live_plane_args(p_compare)
 
     p_sim = sub.add_parser("simulate", help="run a mixed-workload simulation")
@@ -110,6 +145,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--horizon", type=float, default=90.0)
     p_sim.add_argument("--lras", type=int, default=3)
     p_sim.add_argument("--tasks", type=int, default=100)
+    p_sim.add_argument(
+        "--seed", type=int, default=5,
+        help="workload-generator seed (default 5); same seed + same knobs "
+             "=> byte-identical canonical trace",
+    )
+    p_sim.add_argument(
+        "--scheduler", default="ilp",
+        choices=("ilp", "nc", "tp", "serial", "jkube", "jkube++", "unaware"),
+        help="LRA scheduler to drive the simulation with (default ilp)",
+    )
+    p_sim.add_argument(
+        "--backend", choices=("object", "array"), default=None,
+        help="cluster-state backend (default: MEDEA_STATE_BACKEND or object)",
+    )
+    p_sim.add_argument(
+        "--engine", choices=("periodic", "ondemand"), default=None,
+        help="event-engine mode (default periodic); same-seed runs are "
+             "decision-equivalent across engines — 'repro diff' verifies it",
+    )
+    p_sim.add_argument(
+        "--audit", action="store_true",
+        help="record scheduler decision audits (scheduler.audit events) "
+             "so 'repro diff' can explain placement flips causally",
+    )
     p_sim.add_argument(
         "--trace-out", metavar="FILE", default=None,
         help="record the structured event trace to this JSONL file",
@@ -194,6 +253,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the profile + critical-path summary JSON to this file",
     )
 
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two recorded runs: IDENTICAL / EQUIVALENT / "
+             "DIVERGED@tick / INCOMPARABLE, with causal explanations",
+    )
+    p_diff.add_argument("trace_a", help="first run (.jsonl/.mtrc trace or ROLLUP_*.json)")
+    p_diff.add_argument("trace_b", help="second run (.jsonl/.mtrc trace or ROLLUP_*.json)")
+    p_diff.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the full diff report JSON (sorted keys) to this file",
+    )
+    p_diff.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write a self-contained HTML diff report to this file",
+    )
+    p_diff.add_argument(
+        "--context", type=int, default=None, metavar="N",
+        help="structural events of context around the first divergence "
+             "(default 5)",
+    )
+    p_diff.add_argument(
+        "--ratio", type=float, default=None,
+        help="noise threshold multiplier for wall-clock deltas (default 1.5)",
+    )
+    p_diff.add_argument(
+        "--abs-floor", type=float, default=None, metavar="SECONDS",
+        help="absolute slack added to every wall-clock limit (default 0.02s)",
+    )
+    p_diff.add_argument(
+        "--fail-on-divergence", action="store_true",
+        help=f"exit {EXIT_GATE} when the verdict is DIVERGED (CI gate); "
+             f"INCOMPARABLE always exits {EXIT_DATA_ERROR}",
+    )
+
     p_bench = sub.add_parser(
         "bench-compare",
         help="diff a BENCH_*.json run against a baseline; non-zero on regression",
@@ -247,7 +340,7 @@ def _cmd_table1() -> int:
     from .core.capabilities import render_table1
 
     print(render_table1())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_parse(text: str) -> int:
@@ -257,7 +350,7 @@ def _cmd_parse(text: str) -> int:
         constraint = parse_constraint(text)
     except ConstraintSyntaxError as exc:
         print(f"invalid constraint: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_DATA_ERROR
     tc = constraint.tag_constraints[0]
     if tc.is_affinity():
         kind = "affinity"
@@ -267,10 +360,13 @@ def _cmd_parse(text: str) -> int:
         kind = "cardinality"
     print(format_constraint(constraint))
     print(f"kind: {kind}; scope: {constraint.node_group}")
-    return 0
+    return EXIT_OK
 
 
-def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
+def _cmd_compare(
+    nodes: int, racks: int, instances: int, max_rs: int,
+    diff_pairwise: bool = False,
+) -> int:
     from . import (
         ClusterState,
         ConstraintManager,
@@ -301,16 +397,23 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
     ]
     population = hbase_population(instances, max_rs_per_node=max_rs)
     rows = []
+    events_by_scheduler: dict[str, list[dict]] = {}
     for scheduler in schedulers:
+        if diff_pairwise:
+            # Audit every decision so the pairwise diff below can explain
+            # placement flips causally, not just localize them.
+            scheduler.audit_enabled = True
         topology = build_cluster(nodes, racks=racks, memory_mb=16 * 1024, vcores=8)
         state = ClusterState(topology)
         manager = ConstraintManager(topology)
+        run_events: list[dict] = []
         # Timed through the obs layer (not a hand-rolled perf_counter pair)
         # so CLI comparisons land in the same cli_compare_seconds timer and
         # span profile as every other instrumented path.
         with get_metrics().timer("cli_compare_seconds").time(
             scheduler=scheduler.name
         ) as timing, span(f"cli.compare:{scheduler.name}"):
+            cycle = 0
             for index in range(0, len(population), 2):
                 batch = population[index:index + 2]
                 for request in batch:
@@ -320,6 +423,18 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
                     state.allocate(
                         p.container_id, p.node_id, p.resource, p.tags, p.app_id
                     )
+                if diff_pairwise:
+                    run_events.extend(_placement_cycle_events(
+                        cycle, batch, result, seq_base=len(run_events)
+                    ))
+                cycle += 1
+        if diff_pairwise:
+            run_events.append({
+                "kind": "sim.state_hash", "seq": len(run_events),
+                "time": float(cycle),
+                "data": {"hash": state.fingerprint()},
+            })
+            events_by_scheduler[scheduler.name] = run_events
         elapsed_ms = timing.elapsed_s * 1000
         report = evaluate_violations(state, manager=manager)
         rows.append([
@@ -332,34 +447,146 @@ def _cmd_compare(nodes: int, racks: int, instances: int, max_rs: int) -> int:
     print(render_table(
         ["scheduler", "violations", "frag %", "util CV", "latency"], rows
     ))
-    return 0
+    if diff_pairwise:
+        _print_pairwise_diffs(schedulers[0].name, events_by_scheduler)
+    return EXIT_OK
 
 
-def _cmd_simulate(
-    nodes: int, horizon: float, lras: int, tasks: int,
-    watchdog_mode: str | None = None,
-) -> int:
-    from . import IlpScheduler, build_cluster, evaluate_violations
+def _placement_cycle_events(
+    cycle: int, batch, result, *, seq_base: int
+) -> list[dict]:
+    """Synthesize the canonical structural events of one batch-placement
+    cycle (the same vocabulary a simulation trace uses), so the diff
+    plane can align two schedulers' decision streams.  Scheduler names
+    are deliberately left out of the payloads — the diff should localize
+    decision differences, not the label."""
+    t = float(cycle)
+    events: list[dict] = []
+
+    def emit(kind: str, data: dict) -> None:
+        events.append({
+            "kind": kind, "seq": seq_base + len(events), "time": t,
+            "data": data,
+        })
+
+    emit("cycle.start", {"batch": sorted(r.app_id for r in batch)})
+    if result.audit is not None:
+        audit_obj = result.audit.to_dict()
+        audit_obj.pop("scheduler", None)
+        emit("scheduler.audit", audit_obj)
+    by_app: dict[str, list] = {}
+    for p in result.placements:
+        by_app.setdefault(p.app_id, []).append(p)
+    for app_id in sorted(by_app):
+        placements = by_app[app_id]
+        emit("lra.place", {
+            "app_id": app_id,
+            "containers": len(placements),
+            "placements": sorted(
+                [p.container_id, p.node_id] for p in placements
+            ),
+        })
+    for app_id in sorted(result.rejected_apps):
+        emit("lra.reject", {"app_id": app_id})
+    emit("cycle.end", {
+        "placed": sorted(by_app),
+        "rejected": sorted(result.rejected_apps),
+    })
+    return events
+
+
+def _print_pairwise_diffs(
+    reference: str, events_by_scheduler: dict[str, list[dict]]
+) -> None:
+    from .obs.diff import diff_events
+
+    ref_events = events_by_scheduler[reference]
+    print()
+    print(f"pairwise placement diff vs {reference}:")
+    for name, events in events_by_scheduler.items():
+        if name == reference:
+            continue
+        report = diff_events(
+            ref_events, events, label_a=reference, label_b=name
+        )
+        flips = report.placements.get("flipped", 0)
+        print(f"  {name}: {report.headline()} — {report.reason}; "
+              f"{flips} placements flipped")
+        if report.flips:
+            flip = report.flips[0]
+            print(f"    first flip: {flip.container_id} "
+                  f"({flip.app_id or 'task'}) — {reference}:{flip.node_a} "
+                  f"vs {name}:{flip.node_b}")
+            for why in flip.explanation[:3]:
+                print(f"      - {why}")
+
+
+def _make_sim_scheduler(name: str, nodes: int):
+    """Instantiate the ``--scheduler`` choice for ``repro simulate``.
+
+    The default ILP configuration is byte-for-byte the pre-flag behaviour
+    (candidate cap, time limit, MIP gap), so traces recorded before the
+    flag existed still reproduce."""
+    from . import (
+        ConstraintUnawareScheduler,
+        IlpScheduler,
+        JKubePlusPlusScheduler,
+        JKubeScheduler,
+        NodeCandidatesScheduler,
+        SerialScheduler,
+        TagPopularityScheduler,
+    )
+
+    if name == "ilp":
+        return IlpScheduler(max_candidate_nodes=min(nodes, 60),
+                            time_limit_s=5.0, mip_rel_gap=0.02)
+    if name == "nc":
+        return NodeCandidatesScheduler()
+    if name == "tp":
+        return TagPopularityScheduler()
+    if name == "serial":
+        return SerialScheduler()
+    if name == "jkube":
+        return JKubeScheduler()
+    if name == "jkube++":
+        return JKubePlusPlusScheduler()
+    if name == "unaware":
+        return ConstraintUnawareScheduler(seed=11)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from . import build_cluster, evaluate_violations
     from .apps import hbase_instance, tensorflow_instance
     from .obs.stats import BoxStats
     from .obs.watchdog import Watchdog, WatchdogError
     from .sim import ClusterSimulation, SimConfig
     from .workloads import GridMixConfig, generate_tasks
 
+    nodes, horizon = args.nodes, args.horizon
+    lras, tasks = args.lras, args.tasks
     topology = build_cluster(nodes, racks=max(2, nodes // 10),
                              memory_mb=16 * 1024, vcores=8)
-    watchdog = Watchdog(mode=watchdog_mode) if watchdog_mode else None
+    watchdog = Watchdog(mode=args.watchdog) if args.watchdog else None
+    scheduler = _make_sim_scheduler(args.scheduler, nodes)
+    if args.audit:
+        scheduler.audit_enabled = True
     sim = ClusterSimulation(
         topology,
-        IlpScheduler(max_candidate_nodes=min(nodes, 60), time_limit_s=5.0,
-                     mip_rel_gap=0.02),
-        config=SimConfig(scheduling_interval_s=10.0, horizon_s=horizon),
+        scheduler,
+        config=SimConfig(
+            scheduling_interval_s=10.0,
+            horizon_s=horizon,
+            engine=args.engine or "periodic",
+            backend=args.backend,
+        ),
         watchdog=watchdog,
     )
     for i in range(lras):
         template = hbase_instance if i % 2 == 0 else tensorflow_instance
         sim.submit_lra(template(f"lra-{i}"), at=2.0 + 11.0 * i)
-    for arrival, task in generate_tasks(GridMixConfig(seed=5), count=tasks):
+    for arrival, task in generate_tasks(GridMixConfig(seed=args.seed),
+                                        count=tasks):
         if arrival < horizon:
             sim.submit_task(task, at=arrival)
     try:
@@ -371,7 +598,7 @@ def _cmd_simulate(
             f"{trip.check}: {trip.summary()}",
             file=sys.stderr,
         )
-        return 1
+        return EXIT_DATA_ERROR
 
     report = evaluate_violations(sim.state, manager=sim.medea.manager)
     print(f"LRAs placed:        {len(sim.lra_latencies())}/{lras}")
@@ -382,7 +609,7 @@ def _cmd_simulate(
         print(f"tasks allocated:    {stats.count}")
         print(f"task latency (s):   median {stats.median:.2f}, p99 {stats.p99:.2f}")
     print(f"memory utilisation: {100 * sim.state.cluster_memory_utilization():.1f}%")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_trace_report(trace_file: str) -> int:
@@ -392,8 +619,8 @@ def _cmd_trace_report(trace_file: str) -> int:
         print(render_trace_report(trace_file))
     except TraceFileError as exc:
         print(f"trace-report: {exc}", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_DATA_ERROR
+    return EXIT_OK
 
 
 def _cmd_trace_convert(args: argparse.Namespace) -> int:
@@ -407,7 +634,7 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
     if _os.path.abspath(args.source) == _os.path.abspath(args.destination):
         print("trace-convert: source and destination are the same file",
               file=sys.stderr)
-        return 1
+        return EXIT_DATA_ERROR
     t0 = perf_counter()
     count = 0
     try:
@@ -427,7 +654,7 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
                     count += 1
     except TraceFileError as exc:
         print(f"trace-convert: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_DATA_ERROR
     elapsed = perf_counter() - t0
     bytes_in = _os.path.getsize(args.source)
     bytes_out = _os.path.getsize(args.destination)
@@ -438,7 +665,7 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
     )
     if reader.truncated:
         print("warning: trailing partial line/chunk ignored (crashed run?)")
-    return 0
+    return EXIT_OK
 
 
 def _load_rollup_doc(path: str):
@@ -479,7 +706,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
             rules = load_slo_rules(args.slo)
         except (OSError, ValueError) as exc:
             print(f"dashboard: cannot load SLO rules: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_DATA_ERROR
     rollup_doc = _load_rollup_doc(args.trace_file)
     if rollup_doc is not None:
         from .obs.rollup import build_dashboard_from_rollup
@@ -495,7 +722,7 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
             )
         except TraceFileError as exc:
             print(f"dashboard: {exc}", file=sys.stderr)
-            return 1
+            return EXIT_DATA_ERROR
     title = f"Medea run dashboard — {args.trace_file}"
     print(render_dashboard(summary, title=title))
     if args.json:
@@ -513,8 +740,8 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         if breached or diverged:
             reason = "SLO breach" if breached else "replay divergence"
             print(f"dashboard: failing on {reason}", file=sys.stderr)
-            return 1
-    return 0
+            return EXIT_GATE
+    return EXIT_OK
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -544,7 +771,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 path_builder.feed(obj)
     except TraceFileError as exc:
         print(f"profile: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_DATA_ERROR
     paths = path_builder.result()
     memory_note = None
     if args.memory:
@@ -590,7 +817,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print()
         for line in memory_note:
             print(line)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -609,9 +836,53 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         )
     except (OSError, ValueError) as exc:
         print(f"bench-compare: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_DATA_ERROR
     print(bench.render_comparison(comparison))
-    return 0 if comparison.ok else 1
+    return EXIT_OK if comparison.ok else EXIT_GATE
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.diff import (
+        VERDICT_INCOMPARABLE,
+        diff_traces,
+        render_diff,
+        render_diff_html,
+    )
+    from .obs.report import TraceFileError
+
+    kwargs = {}
+    if args.context is not None:
+        kwargs["context"] = args.context
+    if args.ratio is not None:
+        kwargs["ratio"] = args.ratio
+    if args.abs_floor is not None:
+        kwargs["abs_floor_s"] = args.abs_floor
+    try:
+        report = diff_traces(args.trace_a, args.trace_b, **kwargs)
+    except TraceFileError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return EXIT_DATA_ERROR
+    print(render_diff(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_obj(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"diff JSON written to {args.json}")
+    if args.html:
+        title = f"repro diff — {args.trace_a} vs {args.trace_b}"
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_diff_html(report, title=title))
+        print(f"HTML report written to {args.html}")
+    if report.verdict == VERDICT_INCOMPARABLE:
+        print(f"diff: runs are incomparable: {report.reason}",
+              file=sys.stderr)
+        return EXIT_DATA_ERROR
+    if args.fail_on_divergence and not report.ok:
+        print(f"diff: failing on {report.headline()}", file=sys.stderr)
+        return EXIT_GATE
+    return EXIT_OK
 
 
 def _fetch_snapshot_retrying(target: str, retry_for_s: float):
@@ -653,7 +924,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             except (URLError, OSError, ValueError) as exc:
                 print(f"watch: cannot reach {args.target}: {exc}",
                       file=sys.stderr)
-                return 1
+                return EXIT_DATA_ERROR
             if not args.no_clear:
                 # Clear screen + home cursor so the frame refreshes in place.
                 print("\x1b[2J\x1b[H", end="")
@@ -661,7 +932,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             frames += 1
     except KeyboardInterrupt:
         pass
-    return 0
+    return EXIT_OK
 
 
 def _configure_tracing(args: argparse.Namespace) -> bool:
@@ -771,6 +1042,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench-compare":
         return _cmd_bench_compare(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "watch":
         return _cmd_watch(args)
     tracing = _configure_tracing(args)
@@ -778,10 +1051,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "compare":
             status = _cmd_compare(args.nodes, args.racks, args.instances,
-                                  args.max_rs_per_node)
+                                  args.max_rs_per_node,
+                                  diff_pairwise=args.diff)
         elif args.command == "simulate":
-            status = _cmd_simulate(args.nodes, args.horizon, args.lras,
-                                   args.tasks, args.watchdog)
+            status = _cmd_simulate(args)
         else:  # pragma: no cover
             raise AssertionError(f"unhandled command {args.command}")
     finally:

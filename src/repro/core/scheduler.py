@@ -209,6 +209,17 @@ class LRAScheduler(abc.ABC):
                 },
                 wall={"solve_time_s": result.solve_time_s},
             )
+            if result.audit is not None:
+                # The full decision audit rides the trace so post-hoc
+                # forensics (repro diff's causal placement axis) can
+                # explain why a placement flipped between two runs.  The
+                # payload is deterministic: candidates, prune reasons,
+                # and score terms all derive from simulated state.
+                tracer.emit(
+                    EventKind.SCHEDULER_AUDIT,
+                    time=now,
+                    data=result.audit.to_dict(),
+                )
         return result
 
 

@@ -82,6 +82,19 @@ telemetry dominating the run:
   ``benchmarks/test_obs_overhead.py`` gate keeps total observability
   overhead within budget via ``repro bench-compare``.
 
+The **diff plane** (ISSUE 9) — cross-run differential observability:
+
+* **Trace diff** — :func:`diff_traces` / :func:`diff_events`
+  (``repro.obs.diff``) compare two recorded runs in one streaming pass
+  per side: structural alignment of the deterministic decision stream
+  with first-divergence localization, replay-backed placement-fingerprint
+  cross-checks, causal placement-flip explanations from the recorded
+  ``scheduler.audit`` payloads, and statistical series/span deltas under
+  the bench-compare noise model.  Four-way verdict
+  (``IDENTICAL`` / ``EQUIVALENT`` / ``DIVERGED`` / ``INCOMPARABLE``),
+  rendered by :func:`render_diff` / :func:`render_diff_html`;
+  ``repro diff A B --fail-on-divergence`` gates CI on it.
+
 Ambient configuration::
 
     from repro import obs
@@ -109,6 +122,22 @@ from .audit import (
     CandidatePruned,
     ContainerDecision,
     DecisionAudit,
+    explain_placement_flip,
+)
+from .diff import (
+    STRUCTURAL_KINDS,
+    VERDICT_DIVERGED,
+    VERDICT_EQUIVALENT,
+    VERDICT_IDENTICAL,
+    VERDICT_INCOMPARABLE,
+    DiffReport,
+    PlacementFlip,
+    StructuralDivergence,
+    diff_events,
+    diff_rollups,
+    diff_traces,
+    render_diff,
+    render_diff_html,
 )
 from .bench import (
     BenchCheck,
@@ -135,6 +164,7 @@ from .profile import (
     SpanStat,
     build_profile,
     critical_paths,
+    span_deltas,
 )
 from .mtrc import MtrcFormatError, MtrcReader, MtrcSink, read_mtrc, write_mtrc
 from .replay import (
@@ -161,6 +191,7 @@ from .rollup import (
     load_rollup,
     rollup_from_env,
     shutdown_rollup,
+    summary_series,
 )
 from .sample import SamplingPolicy, TraceSampler, parse_sample_spec
 from .serve import (
@@ -232,6 +263,7 @@ __all__ = [
     "get_rollup",
     "rollup_from_env",
     "load_rollup",
+    "summary_series",
     "build_dashboard_from_rollup",
     # metrics
     "Counter",
@@ -250,6 +282,21 @@ __all__ = [
     "PRUNE_UNAVAILABLE",
     "PRUNE_CONSTRAINT",
     "PRUNE_CANDIDATE_POOL",
+    "explain_placement_flip",
+    # cross-run diff plane
+    "VERDICT_IDENTICAL",
+    "VERDICT_EQUIVALENT",
+    "VERDICT_DIVERGED",
+    "VERDICT_INCOMPARABLE",
+    "STRUCTURAL_KINDS",
+    "DiffReport",
+    "PlacementFlip",
+    "StructuralDivergence",
+    "diff_traces",
+    "diff_events",
+    "diff_rollups",
+    "render_diff",
+    "render_diff_html",
     # timeline
     "TimeSeries",
     "TimelineAggregator",
@@ -275,6 +322,7 @@ __all__ = [
     "SpanStat",
     "ProfileReport",
     "build_profile",
+    "span_deltas",
     "AppCriticalPath",
     "critical_paths",
     # bench gate

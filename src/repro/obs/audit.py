@@ -16,7 +16,7 @@ path adds a single attribute check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 __all__ = [
     "PRUNE_CAPACITY",
@@ -26,6 +26,7 @@ __all__ = [
     "CandidatePruned",
     "ContainerDecision",
     "DecisionAudit",
+    "explain_placement_flip",
 ]
 
 #: Reasons a candidate node was pruned / penalised.
@@ -53,6 +54,15 @@ class CandidatePruned:
         if self.extent:
             obj["extent"] = self.extent
         return obj
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "CandidatePruned":
+        return cls(
+            node_id=obj.get("node", "?"),
+            reason=obj.get("reason", "?"),
+            constraint=obj.get("constraint"),
+            extent=float(obj.get("extent", 0.0)),
+        )
 
 
 @dataclass
@@ -97,6 +107,18 @@ class ContainerDecision:
             "score_terms": dict(self.score_terms),
         }
 
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "ContainerDecision":
+        return cls(
+            app_id=obj.get("app", "?"),
+            container_id=obj.get("container", "?"),
+            considered=int(obj.get("considered", 0)),
+            feasible=int(obj.get("feasible", 0)),
+            pruned=[CandidatePruned.from_dict(p) for p in obj.get("pruned", ())],
+            chosen_node=obj.get("chosen"),
+            score_terms=dict(obj.get("score_terms") or {}),
+        )
+
 
 @dataclass
 class DecisionAudit:
@@ -131,3 +153,96 @@ class DecisionAudit:
             "objective_terms": dict(self.objective_terms),
             "decisions": [d.to_dict() for d in self.decisions],
         }
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "DecisionAudit":
+        """Rebuild an audit from a recorded ``scheduler.audit`` payload
+        (the inverse of :meth:`to_dict`; used by trace forensics)."""
+        return cls(
+            scheduler=obj.get("scheduler", "?"),
+            decisions=[
+                ContainerDecision.from_dict(d) for d in obj.get("decisions", ())
+            ],
+            objective_terms=dict(obj.get("objective_terms") or {}),
+        )
+
+
+def _describe_pruned(pruned: Mapping[str, Any]) -> str:
+    reason = pruned.get("reason", "?")
+    text = f"pruned ({reason}"
+    if pruned.get("constraint"):
+        text += f": {pruned['constraint']}"
+    if pruned.get("extent"):
+        text += f", extent {pruned['extent']:g}"
+    return text + ")"
+
+
+def explain_placement_flip(
+    container_id: str,
+    node_a: str,
+    node_b: str,
+    decision_a: Mapping[str, Any] | None,
+    decision_b: Mapping[str, Any] | None,
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> list[str]:
+    """Explain why one container landed on different nodes in two runs.
+
+    ``decision_a`` / ``decision_b`` are recorded :class:`ContainerDecision`
+    payloads (the dict shape of ``scheduler.audit`` events) for the
+    container on each side, or ``None`` when that run carried no audit.
+    Returns human-readable lines: which side pruned the other side's
+    chosen node (and the constraint responsible), the score terms that
+    flipped the ranking, and candidate-pool size changes.
+    """
+    if decision_a is None and decision_b is None:
+        return [
+            "no scheduler.audit events recorded for this container; rerun "
+            "with auditing enabled (--audit) for a causal explanation"
+        ]
+    lines: list[str] = []
+    for label, other_node, decision in (
+        (label_b, node_a, decision_b),
+        (label_a, node_b, decision_a),
+    ):
+        if decision is None:
+            lines.append(f"{label}: no audit recorded")
+            continue
+        hit = next(
+            (p for p in decision.get("pruned", ()) if p.get("node") == other_node),
+            None,
+        )
+        if hit is not None:
+            lines.append(f"{label}: candidate {other_node} {_describe_pruned(hit)}")
+    if decision_a is not None and decision_b is not None:
+        terms_a = decision_a.get("score_terms") or {}
+        terms_b = decision_b.get("score_terms") or {}
+        flipped = sorted(
+            key for key in set(terms_a) | set(terms_b)
+            if terms_a.get(key) != terms_b.get(key)
+        )
+        if flipped:
+            detail = ", ".join(
+                f"{key} {terms_a.get(key, '-')} vs {terms_b.get(key, '-')}"
+                for key in flipped
+            )
+            lines.append(f"score terms flipped: {detail}")
+        if (
+            decision_a.get("considered") != decision_b.get("considered")
+            or decision_a.get("feasible") != decision_b.get("feasible")
+        ):
+            lines.append(
+                "candidate pool changed: considered "
+                f"{decision_a.get('considered')} vs "
+                f"{decision_b.get('considered')}, feasible "
+                f"{decision_a.get('feasible')} vs {decision_b.get('feasible')}"
+            )
+    if not lines:
+        lines.append(
+            f"both runs ranked their chosen node first ({node_a} vs {node_b}) "
+            "with no recorded pruning of the other side's choice — an "
+            "upstream decision (earlier placement or cluster state) diverged "
+            "first"
+        )
+    return lines

@@ -1,0 +1,1164 @@
+"""Cross-run differential observability: the ``repro diff`` forensics plane.
+
+Two recorded runs rarely need a human to eyeball ten thousand JSONL lines;
+they need a *verdict* and, when the runs disagree, the first place and the
+reason why.  This module compares two traces (JSONL or ``.mtrc``,
+magic-sniffed by :func:`~repro.obs.report.iter_trace`) in one streaming
+pass per side and reports along three axes:
+
+* **Structural diff** — the deterministic decision stream (LRA/task
+  lifecycle, scheduling cycles, node availability …) is aligned event by
+  event on canonical identity (kind + simulated time + wall-stripped
+  payload).  The first divergent event is localized with a context window
+  of the common prefix and each side's following events.  Placement
+  fingerprints are cross-checked through the existing replay machinery:
+  common-time ``sim.state_hash`` checkpoints and the final reconstructed
+  placement fingerprint must agree.
+* **Causal placement diff** — for every container that landed on a
+  different node, the recorded :class:`~repro.obs.audit.DecisionAudit`
+  payloads (``scheduler.audit`` events) explain *why* the decision
+  flipped: the candidate one side pruned (capacity / availability / the
+  attributed constraint), or the score terms that ranked another node
+  first.
+* **Statistical diff** — per-path span-profile deltas and timeline series
+  deltas.  Deterministic series compare exactly; wall-clock timings use
+  the bench-compare noise model (``ratio`` × + ``abs_floor``) so runner
+  jitter never reads as divergence.
+
+The outcome is a four-way verdict:
+
+* ``IDENTICAL`` — the canonical (wall-stripped) streams are byte-identical.
+* ``EQUIVALENT`` — the structural streams and every placement fingerprint
+  match; only non-structural cadence (heartbeats, queue samples, engine
+  dispatch, spans) and wall-clock data differ.  This is the contract
+  between the ``periodic`` and ``ondemand`` engines and between state
+  backends: same decisions, different bookkeeping.
+* ``DIVERGED`` — a structural event or a placement fingerprint differs;
+  ``tick`` localizes the first divergence.
+* ``INCOMPARABLE`` — the inputs cannot be meaningfully aligned (unreadable
+  file, trace vs rollup, no shared structural vocabulary).
+
+Rollup documents (``ROLLUP_*.json``) are also accepted — both sides must
+then be rollups, and the diff is statistical-only (bounded series +
+profile aggregates instead of an event stream).
+
+Entry points: :func:`diff_traces` (two paths), :func:`diff_events` (two
+decoded event iterables, e.g. :class:`~repro.obs.trace.MemorySink`
+captures), and the renderers :func:`render_diff` /
+:func:`render_diff_html`; ``repro diff A B`` wraps them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from .audit import explain_placement_flip
+from .bench import DEFAULT_ABS_FLOOR_S, DEFAULT_RATIO
+from .events import WALL_KEY, EventKind, TraceEvent
+from .profile import ProfileReport, span_deltas
+from .replay import ReplayState
+from .timeline import TimelineAggregator
+
+__all__ = [
+    "VERDICT_IDENTICAL",
+    "VERDICT_EQUIVALENT",
+    "VERDICT_DIVERGED",
+    "VERDICT_INCOMPARABLE",
+    "STRUCTURAL_KINDS",
+    "DiffReport",
+    "PlacementFlip",
+    "StructuralDivergence",
+    "diff_traces",
+    "diff_events",
+    "diff_rollups",
+    "render_diff",
+    "render_diff_html",
+]
+
+VERDICT_IDENTICAL = "IDENTICAL"
+VERDICT_EQUIVALENT = "EQUIVALENT"
+VERDICT_DIVERGED = "DIVERGED"
+VERDICT_INCOMPARABLE = "INCOMPARABLE"
+
+#: Event kinds that constitute the deterministic decision stream.  Two
+#: same-seed runs must agree on these exactly, whatever the engine or
+#: state backend; everything else is cadence/telemetry whose presence and
+#: count legitimately vary (the ``ondemand`` engine skips idle heartbeats
+#: and queue samples, sampling policies thin lifecycles, spans follow the
+#: callbacks that actually fired).
+STRUCTURAL_KINDS = frozenset({
+    EventKind.LRA_SUBMIT,
+    EventKind.LRA_PLACE,
+    EventKind.LRA_REJECT,
+    EventKind.LRA_CONFLICT,
+    EventKind.LRA_RESUBMIT,
+    EventKind.LRA_DROP,
+    EventKind.LRA_COMPLETE,
+    EventKind.CYCLE_START,
+    EventKind.CYCLE_END,
+    EventKind.TASK_SUBMIT,
+    EventKind.TASK_ALLOCATE,
+    EventKind.TASK_RELEASE,
+    EventKind.TASK_FINISH,
+    EventKind.SCHEDULER_PLACE,
+    EventKind.SCHEDULER_AUDIT,
+    EventKind.NODE_AVAILABILITY,
+    EventKind.WATCHDOG_TRIP,
+    EventKind.MIGRATION_PLAN,
+    EventKind.BENCH_EXPERIMENT,
+    EventKind.SOLVER_PRESOLVE,
+    EventKind.SOLVER_SOLVE,
+})
+
+#: Structural events kept as post-divergence context per side.
+DEFAULT_CONTEXT = 5
+
+#: Placement flips explained in full before the report only counts them.
+MAX_RECORDED_FLIPS = 12
+
+#: Checkpoint mismatches recorded in full.
+MAX_RECORDED_CHECKPOINT_MISMATCHES = 8
+
+
+@dataclass(frozen=True)
+class StructuralDivergence:
+    """The first point where the two decision streams stop agreeing."""
+
+    #: Position in the structural substream (0-based).
+    index: int
+    #: Simulated time of the divergence (first side that has an event).
+    time: float | None
+    #: The two canonical structural events (``None`` when a side's stream
+    #: ended early — a missing-tail divergence).
+    a: Mapping[str, Any] | None
+    b: Mapping[str, Any] | None
+    #: Common structural prefix immediately before the divergence.
+    context: list[Mapping[str, Any]]
+    #: Each side's next structural events after the divergence point.
+    after_a: list[Mapping[str, Any]]
+    after_b: list[Mapping[str, Any]]
+    reason: str
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "reason": self.reason,
+            "a": self.a,
+            "b": self.b,
+            "context": list(self.context),
+            "after_a": list(self.after_a),
+            "after_b": list(self.after_b),
+        }
+
+
+@dataclass(frozen=True)
+class PlacementFlip:
+    """One container that landed on different nodes in the two runs."""
+
+    container_id: str
+    app_id: str | None
+    node_a: str
+    node_b: str
+    time_a: float | None
+    time_b: float | None
+    #: Human-readable causal explanation derived from the recorded
+    #: decision audits (empty when neither run carried them).
+    explanation: list[str]
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "container": self.container_id,
+            "app": self.app_id,
+            "node_a": self.node_a,
+            "node_b": self.node_b,
+            "time_a": self.time_a,
+            "time_b": self.time_b,
+            "explanation": list(self.explanation),
+        }
+
+
+@dataclass
+class DiffReport:
+    """Outcome of comparing two runs."""
+
+    verdict: str
+    #: Simulated time of the first divergence (``DIVERGED`` only).
+    tick: float | None = None
+    #: One-line rationale for the verdict.
+    reason: str = ""
+    label_a: str = "A"
+    label_b: str = "B"
+    sides: dict[str, Any] = field(default_factory=dict)
+    structural: dict[str, Any] = field(default_factory=dict)
+    divergence: StructuralDivergence | None = None
+    checkpoints: dict[str, Any] = field(default_factory=dict)
+    placements: dict[str, Any] = field(default_factory=dict)
+    flips: list[PlacementFlip] = field(default_factory=list)
+    series: dict[str, Any] = field(default_factory=dict)
+    profile: dict[str, Any] = field(default_factory=dict)
+    thresholds: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the runs agree (identical or equivalent)."""
+        return self.verdict in (VERDICT_IDENTICAL, VERDICT_EQUIVALENT)
+
+    @property
+    def comparable(self) -> bool:
+        return self.verdict != VERDICT_INCOMPARABLE
+
+    def headline(self) -> str:
+        """``DIVERGED@12.0`` style one-token verdict."""
+        if self.verdict == VERDICT_DIVERGED and self.tick is not None:
+            return f"{VERDICT_DIVERGED}@{_fmt_tick(self.tick)}"
+        return self.verdict
+
+    def to_obj(self) -> dict[str, Any]:
+        obj: dict[str, Any] = {
+            "verdict": self.verdict,
+            "headline": self.headline(),
+            "tick": self.tick,
+            "reason": self.reason,
+            "labels": {"a": self.label_a, "b": self.label_b},
+            "sides": dict(self.sides),
+            "structural": dict(self.structural),
+            "checkpoints": dict(self.checkpoints),
+            "placements": dict(self.placements),
+            "flips": [f.to_obj() for f in self.flips],
+            "series": dict(self.series),
+            "profile": dict(self.profile),
+            "thresholds": dict(self.thresholds),
+            "notes": list(self.notes),
+        }
+        if self.divergence is not None:
+            obj["divergence"] = self.divergence.to_obj()
+        return obj
+
+
+def _fmt_tick(tick: float) -> str:
+    return f"{tick:g}"
+
+
+def _canonical_line(obj: Mapping[str, Any]) -> bytes:
+    """Full canonical JSONL line (seq kept, ``wall`` stripped) — the
+    byte-identity the determinism contract is stated over."""
+    stripped = {k: v for k, v in obj.items() if k != WALL_KEY}
+    return json.dumps(stripped, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _structural_identity(obj: Mapping[str, Any]) -> dict[str, Any]:
+    """Equivalence identity of a structural event: kind + simulated time +
+    deterministic payload.  ``seq`` is deliberately excluded — sequence
+    numbers shift with non-structural traffic (engine cadence, sampling),
+    which must not read as divergence."""
+    ident: dict[str, Any] = {"kind": obj.get("kind")}
+    if obj.get("time") is not None:
+        ident["time"] = obj["time"]
+    data = obj.get("data")
+    if data:
+        ident["data"] = dict(data)
+    return ident
+
+
+class _Side:
+    """Single-pass accumulator for one trace: canonical hash, structural
+    substream, replay reconstruction, checkpoints, placements, audits,
+    timeline, span profile.  Memory is bounded by the aggregates plus the
+    unmatched structural window, not the trace length."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.events = 0
+        self.structural_events = 0
+        self.kind_counts: dict[str, int] = {}
+        self.sha = hashlib.sha256()
+        self.replay = ReplayState()
+        self.checkpoints: dict[float, str] = {}
+        #: container → (node, simulated time), over the whole run (released
+        #: containers stay; a flip anywhere in the run is still a flip).
+        self.placements: dict[str, tuple[str, float | None]] = {}
+        self.apps: dict[str, str] = {}
+        #: container → latest recorded decision payload.
+        self.audit: dict[str, Mapping[str, Any]] = {}
+        self.audit_events = 0
+        self.timeline = TimelineAggregator()
+        self.profile = ProfileReport()
+        self.pending: deque[dict[str, Any]] = deque()
+        #: Set by the driver after the first divergence: cap the pending
+        #: window to the context size instead of buffering the whole tail.
+        self.pending_limit: int | None = None
+        self.truncated = False
+
+    def feed(self, obj: Mapping[str, Any]) -> None:
+        self.events += 1
+        kind = obj.get("kind")
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+        self.sha.update(_canonical_line(obj))
+        self.sha.update(b"\n")
+        self.replay.feed(obj)
+        self.timeline.consume(obj)
+        data = obj.get("data") or {}
+        if kind == EventKind.SPAN:
+            self.profile.add(obj)
+        elif kind == EventKind.SIM_STATE_HASH:
+            digest = data.get("hash")
+            t = obj.get("time")
+            if digest is not None and t is not None:
+                self.checkpoints[float(t)] = digest
+        elif kind == EventKind.LRA_PLACE:
+            app_id = data.get("app_id")
+            for container_id, node_id in data.get("placements") or ():
+                self.placements[container_id] = (node_id, obj.get("time"))
+                if app_id is not None:
+                    self.apps[container_id] = app_id
+        elif kind == EventKind.TASK_ALLOCATE:
+            task_id = data.get("task_id")
+            node_id = data.get("node_id")
+            if task_id is not None and node_id is not None:
+                self.placements[task_id] = (node_id, obj.get("time"))
+        elif kind == EventKind.SCHEDULER_AUDIT:
+            self.audit_events += 1
+            for decision in data.get("decisions") or ():
+                container_id = decision.get("container")
+                if container_id is not None:
+                    self.audit[container_id] = decision
+        if kind in STRUCTURAL_KINDS:
+            self.structural_events += 1
+            if self.pending_limit is None or len(self.pending) < self.pending_limit:
+                self.pending.append(_structural_identity(obj))
+
+    def structural_kinds(self) -> set[str]:
+        return {k for k in self.kind_counts if k in STRUCTURAL_KINDS}
+
+    def summary_obj(self, path: str | None) -> dict[str, Any]:
+        replay = self.replay.finish().to_obj()
+        obj: dict[str, Any] = {
+            "label": self.label,
+            "events": self.events,
+            "structural_events": self.structural_events,
+            "checkpoints": len(self.checkpoints),
+            "placements": len(self.placements),
+            "audited_containers": len(self.audit),
+            "kinds": dict(sorted(self.kind_counts.items())),
+            "replay": replay,
+        }
+        if path is not None:
+            obj["path"] = path
+        if self.truncated:
+            obj["truncated_tail"] = True
+        return obj
+
+
+def _iter_objs(
+    events: Iterable[Mapping[str, Any] | TraceEvent],
+) -> Iterable[Mapping[str, Any]]:
+    for event in events:
+        yield event.to_obj() if isinstance(event, TraceEvent) else event
+
+
+def diff_events(
+    events_a: Iterable[Mapping[str, Any] | TraceEvent],
+    events_b: Iterable[Mapping[str, Any] | TraceEvent],
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+    path_a: str | None = None,
+    path_b: str | None = None,
+    context: int = DEFAULT_CONTEXT,
+    ratio: float = DEFAULT_RATIO,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Diff two decoded event streams (dicts or :class:`TraceEvent`).
+
+    Both streams are consumed exactly once, interleaved; see the module
+    docstring for the verdict semantics.
+    """
+    side_a = _Side(label_a)
+    side_b = _Side(label_b)
+    iter_a = iter(_iter_objs(events_a))
+    iter_b = iter(_iter_objs(events_b))
+    context = max(1, int(context))
+
+    divergence: StructuralDivergence | None = None
+    matched = 0
+    prefix: deque[dict[str, Any]] = deque(maxlen=context)
+    done_a = done_b = False
+    while not (done_a and done_b):
+        if not done_a:
+            try:
+                side_a.feed(next(iter_a))
+            except StopIteration:
+                done_a = True
+        if not done_b:
+            try:
+                side_b.feed(next(iter_b))
+            except StopIteration:
+                done_b = True
+        if divergence is None:
+            while side_a.pending and side_b.pending:
+                ea = side_a.pending.popleft()
+                eb = side_b.pending.popleft()
+                if ea == eb:
+                    matched += 1
+                    prefix.append(ea)
+                    continue
+                divergence = StructuralDivergence(
+                    index=matched,
+                    time=ea.get("time", eb.get("time")),
+                    a=ea,
+                    b=eb,
+                    context=list(prefix),
+                    after_a=[],
+                    after_b=[],
+                    reason=(
+                        "first structural event mismatch"
+                        if ea.get("kind") == eb.get("kind")
+                        else (
+                            f"event kind flipped: {ea.get('kind')} vs "
+                            f"{eb.get('kind')}"
+                        )
+                    ),
+                )
+                side_a.pending_limit = context
+                side_b.pending_limit = context
+                break
+
+    # Structural tail imbalance: one stream ended while the other still
+    # has decisions (only meaningful when no earlier divergence was found).
+    extra_a = len(side_a.pending)
+    extra_b = len(side_b.pending)
+    if divergence is None and (side_a.pending or side_b.pending):
+        longer, shorter = (
+            (side_a, side_b) if side_a.pending else (side_b, side_a)
+        )
+        head = longer.pending.popleft()
+        divergence = StructuralDivergence(
+            index=matched,
+            time=head.get("time"),
+            a=head if longer is side_a else None,
+            b=head if longer is side_b else None,
+            context=list(prefix),
+            after_a=list(side_a.pending)[:context],
+            after_b=list(side_b.pending)[:context],
+            reason=(
+                f"{shorter.label} ended after {matched} structural events; "
+                f"{longer.label} has "
+                f"{max(extra_a, extra_b)} more"
+            ),
+        )
+    elif divergence is not None:
+        divergence = StructuralDivergence(
+            index=divergence.index,
+            time=divergence.time,
+            a=divergence.a,
+            b=divergence.b,
+            context=divergence.context,
+            after_a=list(side_a.pending)[:context],
+            after_b=list(side_b.pending)[:context],
+            reason=divergence.reason,
+        )
+
+    return _assemble(
+        side_a, side_b, divergence, matched,
+        path_a=path_a, path_b=path_b,
+        ratio=ratio, abs_floor_s=abs_floor_s,
+    )
+
+
+def _checkpoint_section(side_a: _Side, side_b: _Side) -> dict[str, Any]:
+    """Cross-check the recorded state fingerprints at every common tick,
+    plus the final replay-reconstructed placement fingerprint."""
+    common = sorted(set(side_a.checkpoints) & set(side_b.checkpoints))
+    mismatches = [
+        {
+            "time": t,
+            "hash_a": side_a.checkpoints[t],
+            "hash_b": side_b.checkpoints[t],
+        }
+        for t in common
+        if side_a.checkpoints[t] != side_b.checkpoints[t]
+    ]
+    section: dict[str, Any] = {
+        "common": len(common),
+        "only_a": len(side_a.checkpoints) - len(common),
+        "only_b": len(side_b.checkpoints) - len(common),
+        "mismatched": len(mismatches),
+        "mismatches": mismatches[:MAX_RECORDED_CHECKPOINT_MISMATCHES],
+    }
+    final_a = side_a.replay.fingerprint()
+    final_b = side_b.replay.fingerprint()
+    section["final_fingerprint_a"] = final_a
+    section["final_fingerprint_b"] = final_b
+    section["final_match"] = final_a == final_b
+    return section
+
+
+def _placement_section(
+    side_a: _Side, side_b: _Side
+) -> tuple[dict[str, Any], list[PlacementFlip]]:
+    a_map, b_map = side_a.placements, side_b.placements
+    common = set(a_map) & set(b_map)
+    flipped = sorted(
+        (cid for cid in common if a_map[cid][0] != b_map[cid][0]),
+        key=lambda cid: (
+            a_map[cid][1] if a_map[cid][1] is not None else float("inf"),
+            cid,
+        ),
+    )
+    flips: list[PlacementFlip] = []
+    for container_id in flipped[:MAX_RECORDED_FLIPS]:
+        node_a, time_a = a_map[container_id]
+        node_b, time_b = b_map[container_id]
+        explanation = explain_placement_flip(
+            container_id,
+            node_a,
+            node_b,
+            side_a.audit.get(container_id),
+            side_b.audit.get(container_id),
+            label_a=side_a.label,
+            label_b=side_b.label,
+        )
+        flips.append(PlacementFlip(
+            container_id=container_id,
+            app_id=side_a.apps.get(container_id) or side_b.apps.get(container_id),
+            node_a=node_a,
+            node_b=node_b,
+            time_a=time_a,
+            time_b=time_b,
+            explanation=explanation,
+        ))
+    section = {
+        "common": len(common),
+        "flipped": len(flipped),
+        "only_a": len(a_map) - len(common),
+        "only_b": len(b_map) - len(common),
+    }
+    return section, flips
+
+
+def _stat_delta(a: float, b: float, *, ratio: float, abs_floor_s: float) -> bool:
+    """Symmetric bench-compare noise test: significant iff the larger
+    value exceeds the smaller scaled by ``ratio`` plus the floor."""
+    lo, hi = (a, b) if a <= b else (b, a)
+    return hi > lo * ratio + abs_floor_s
+
+
+def _series_section(
+    side_a: _Side, side_b: _Side, *, ratio: float, abs_floor_s: float
+) -> dict[str, Any]:
+    sum_a = side_a.timeline.summary()
+    sum_b = side_b.timeline.summary()
+    det_a = sum_a.get("series", {})
+    det_b = sum_b.get("series", {})
+    wall_a = (sum_a.get(WALL_KEY) or {}).get("series", {})
+    wall_b = (sum_b.get(WALL_KEY) or {}).get("series", {})
+    return _series_deltas(
+        det_a, det_b, wall_a, wall_b, ratio=ratio, abs_floor_s=abs_floor_s
+    )
+
+
+def _series_deltas(
+    det_a: Mapping[str, Any],
+    det_b: Mapping[str, Any],
+    wall_a: Mapping[str, Any],
+    wall_b: Mapping[str, Any],
+    *,
+    ratio: float,
+    abs_floor_s: float,
+) -> dict[str, Any]:
+    """Deterministic series compare exactly (point streams included);
+    wall series only beyond the noise threshold (mean-based)."""
+    det_deltas: list[dict[str, Any]] = []
+    matched = 0
+    for name in sorted(set(det_a) | set(det_b)):
+        a_obj, b_obj = det_a.get(name), det_b.get(name)
+        if a_obj is None or b_obj is None:
+            det_deltas.append({
+                "series": name,
+                "status": "only_a" if b_obj is None else "only_b",
+            })
+            continue
+        if a_obj == b_obj:
+            matched += 1
+            continue
+        delta: dict[str, Any] = {"series": name, "status": "delta"}
+        for stat in ("mean", "max", "last"):
+            if a_obj.get(stat) != b_obj.get(stat):
+                delta[stat] = [a_obj.get(stat), b_obj.get(stat)]
+        if len(a_obj.get("points", ())) != len(b_obj.get("points", ())):
+            delta["points"] = [
+                len(a_obj.get("points", ())), len(b_obj.get("points", ()))
+            ]
+        det_deltas.append(delta)
+    wall_flagged: list[dict[str, Any]] = []
+    wall_compared = 0
+    for name in sorted(set(wall_a) & set(wall_b)):
+        mean_a = wall_a[name].get("mean")
+        mean_b = wall_b[name].get("mean")
+        if mean_a is None or mean_b is None:
+            continue
+        wall_compared += 1
+        if _stat_delta(float(mean_a), float(mean_b),
+                       ratio=ratio, abs_floor_s=abs_floor_s):
+            wall_flagged.append({
+                "series": name, "mean": [mean_a, mean_b], "status": "flagged",
+            })
+    return {
+        "deterministic_matched": matched,
+        "deterministic_deltas": det_deltas,
+        "wall_compared": wall_compared,
+        "wall_flagged": wall_flagged,
+    }
+
+
+def _assemble(
+    side_a: _Side,
+    side_b: _Side,
+    divergence: StructuralDivergence | None,
+    matched: int,
+    *,
+    path_a: str | None,
+    path_b: str | None,
+    ratio: float,
+    abs_floor_s: float,
+) -> DiffReport:
+    checkpoints = _checkpoint_section(side_a, side_b)
+    placement_section, flips = _placement_section(side_a, side_b)
+    report = DiffReport(
+        verdict=VERDICT_INCOMPARABLE,
+        label_a=side_a.label,
+        label_b=side_b.label,
+        sides={
+            "a": side_a.summary_obj(path_a),
+            "b": side_b.summary_obj(path_b),
+        },
+        structural={
+            "matched": matched,
+            "a_total": side_a.structural_events,
+            "b_total": side_b.structural_events,
+            "kinds_only_a": sorted(
+                side_a.structural_kinds() - side_b.structural_kinds()
+            ),
+            "kinds_only_b": sorted(
+                side_b.structural_kinds() - side_a.structural_kinds()
+            ),
+        },
+        divergence=divergence,
+        checkpoints=checkpoints,
+        placements=placement_section,
+        flips=flips,
+        series=_series_section(
+            side_a, side_b, ratio=ratio, abs_floor_s=abs_floor_s
+        ),
+        profile=span_deltas(
+            side_a.profile, side_b.profile, ratio=ratio, abs_floor_s=abs_floor_s
+        ),
+        thresholds={"ratio": ratio, "abs_floor_s": abs_floor_s},
+    )
+
+    kinds_a, kinds_b = side_a.structural_kinds(), side_b.structural_kinds()
+    identical = (
+        side_a.sha.digest() == side_b.sha.digest()
+        and side_a.events == side_b.events
+    )
+    if identical:
+        report.verdict = VERDICT_IDENTICAL
+        report.reason = (
+            f"canonical streams are byte-identical "
+            f"({side_a.events} events)"
+        )
+        return report
+    if side_a.events == 0 or side_b.events == 0:
+        report.verdict = VERDICT_INCOMPARABLE
+        empty = side_a.label if side_a.events == 0 else side_b.label
+        report.reason = f"side {empty} contains no events"
+        return report
+    if kinds_a and kinds_b and not (kinds_a & kinds_b):
+        report.verdict = VERDICT_INCOMPARABLE
+        report.reason = (
+            "no shared structural event kinds — the traces come from "
+            "different harnesses"
+        )
+        return report
+    if not kinds_a and not kinds_b and not side_a.checkpoints:
+        report.verdict = VERDICT_INCOMPARABLE
+        report.reason = (
+            "neither trace carries structural events or checkpoints to "
+            "align on"
+        )
+        return report
+
+    if divergence is not None:
+        report.verdict = VERDICT_DIVERGED
+        report.tick = divergence.time
+        report.reason = divergence.reason
+        return report
+    if checkpoints["mismatched"]:
+        first = checkpoints["mismatches"][0]
+        report.verdict = VERDICT_DIVERGED
+        report.tick = first["time"]
+        report.reason = (
+            "structural streams match but recorded state fingerprints "
+            f"disagree at t={_fmt_tick(first['time'])}"
+        )
+        return report
+    if not checkpoints["final_match"]:
+        report.verdict = VERDICT_DIVERGED
+        report.reason = (
+            "structural streams match but the final reconstructed "
+            "placement fingerprints disagree"
+        )
+        return report
+    report.verdict = VERDICT_EQUIVALENT
+    report.reason = (
+        f"{matched} structural events and {checkpoints['common']} "
+        "common-tick fingerprints match; only cadence/wall-clock data "
+        "differ"
+    )
+    return report
+
+
+# -- file-level entry ---------------------------------------------------------
+
+
+def _sniff_rollup(path: str) -> Mapping[str, Any] | None:
+    from .rollup import is_rollup_doc
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.read(1)
+            if head != "{":
+                return None
+            doc = json.loads(head + handle.read())
+    except (OSError, ValueError):
+        return None
+    return doc if is_rollup_doc(doc) else None
+
+
+def diff_traces(
+    path_a: str,
+    path_b: str,
+    *,
+    label_a: str | None = None,
+    label_b: str | None = None,
+    context: int = DEFAULT_CONTEXT,
+    ratio: float = DEFAULT_RATIO,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Diff two recorded runs by path.
+
+    Accepts any pairing of JSONL and ``.mtrc`` traces (sniffed by magic,
+    not extension).  Two rollup documents get the statistical-only diff
+    (:func:`diff_rollups`); a rollup paired with a raw trace is
+    ``INCOMPARABLE``.  Unreadable files raise
+    :class:`~repro.obs.report.TraceFileError` — the CLI maps that to the
+    data-error exit code.
+    """
+    from .report import iter_trace
+
+    label_a = label_a if label_a is not None else path_a
+    label_b = label_b if label_b is not None else path_b
+    rollup_a = _sniff_rollup(path_a)
+    rollup_b = _sniff_rollup(path_b)
+    if rollup_a is not None or rollup_b is not None:
+        if rollup_a is None or rollup_b is None:
+            trace_side = path_a if rollup_a is None else path_b
+            rollup_side = path_b if rollup_a is None else path_a
+            report = DiffReport(
+                verdict=VERDICT_INCOMPARABLE,
+                label_a=label_a,
+                label_b=label_b,
+                reason=(
+                    f"{rollup_side} is a rollup document but {trace_side} "
+                    "is a raw trace; compare two traces or two rollups"
+                ),
+            )
+            report.sides = {"a": {"path": path_a}, "b": {"path": path_b}}
+            return report
+        return diff_rollups(
+            rollup_a, rollup_b,
+            label_a=label_a, label_b=label_b,
+            path_a=path_a, path_b=path_b,
+            ratio=ratio, abs_floor_s=abs_floor_s,
+        )
+
+    reader_a = iter_trace(path_a)
+    reader_b = iter_trace(path_b)
+    report = diff_events(
+        reader_a,
+        reader_b,
+        label_a=label_a,
+        label_b=label_b,
+        path_a=path_a,
+        path_b=path_b,
+        context=context,
+        ratio=ratio,
+        abs_floor_s=abs_floor_s,
+    )
+    for reader, key in ((reader_a, "a"), (reader_b, "b")):
+        if reader.truncated:
+            report.sides[key]["truncated_tail"] = True
+            report.notes.append(
+                f"side {report.sides[key]['label']}: trailing partial "
+                "line/chunk ignored (crashed run?)"
+            )
+    return report
+
+
+def diff_rollups(
+    doc_a: Mapping[str, Any],
+    doc_b: Mapping[str, Any],
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+    path_a: str | None = None,
+    path_b: str | None = None,
+    ratio: float = DEFAULT_RATIO,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> DiffReport:
+    """Statistical-only diff of two bounded rollup documents.
+
+    Rollups carry aggregates, not the event stream, so there is no
+    structural axis: the deterministic series and profile counts either
+    match (``EQUIVALENT``; ``IDENTICAL`` when the stripped documents are
+    byte-equal) or the first differing series localizes the divergence.
+    """
+    from .rollup import summary_series
+
+    det_a, wall_a = summary_series(doc_a)
+    det_b, wall_b = summary_series(doc_b)
+    series = _series_deltas(
+        det_a, det_b, wall_a, wall_b, ratio=ratio, abs_floor_s=abs_floor_s
+    )
+    prof_a = doc_a.get("profile", {})
+    prof_b = doc_b.get("profile", {})
+    report = DiffReport(
+        verdict=VERDICT_EQUIVALENT,
+        label_a=label_a,
+        label_b=label_b,
+        sides={
+            "a": {"label": label_a, "path": path_a,
+                  "events": (doc_a.get("meta") or {}).get("events", 0),
+                  "rollup": True},
+            "b": {"label": label_b, "path": path_b,
+                  "events": (doc_b.get("meta") or {}).get("events", 0),
+                  "rollup": True},
+        },
+        series=series,
+        thresholds={"ratio": ratio, "abs_floor_s": abs_floor_s},
+        notes=["rollup documents: statistical diff only (no event stream)"],
+    )
+
+    def _strip(doc: Mapping[str, Any]) -> str:
+        kept = {k: v for k, v in doc.items() if k not in (WALL_KEY, "rollup")}
+        return json.dumps(kept, sort_keys=True)
+
+    prof_match = prof_a.get("spans") == prof_b.get("spans")
+    det_broken = series["deterministic_deltas"]
+    if _strip(doc_a) == _strip(doc_b):
+        report.verdict = VERDICT_IDENTICAL
+        report.reason = "deterministic rollup sections are identical"
+    elif det_broken or not prof_match:
+        report.verdict = VERDICT_DIVERGED
+        first = det_broken[0]["series"] if det_broken else "span profile"
+        report.tick = _first_delta_tick(det_a, det_b, det_broken)
+        report.reason = f"deterministic rollup series differ (first: {first})"
+        if not prof_match:
+            report.profile = {"counts_match": False}
+    else:
+        report.reason = (
+            f"{series['deterministic_matched']} deterministic series match; "
+            "only wall-clock aggregates differ"
+        )
+    return report
+
+
+def _first_delta_tick(
+    det_a: Mapping[str, Any],
+    det_b: Mapping[str, Any],
+    deltas: list[Mapping[str, Any]],
+) -> float | None:
+    """Earliest tick at which a differing deterministic series disagrees."""
+    best: float | None = None
+    for delta in deltas:
+        name = delta.get("series")
+        pts_a = {p[0]: p[1] for p in (det_a.get(name) or {}).get("points", ())}
+        pts_b = {p[0]: p[1] for p in (det_b.get(name) or {}).get("points", ())}
+        for t in sorted(set(pts_a) | set(pts_b)):
+            if pts_a.get(t) != pts_b.get(t):
+                if best is None or t < best:
+                    best = t
+                break
+    return best
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def _fmt_event(obj: Mapping[str, Any] | None) -> str:
+    if obj is None:
+        return "(stream ended)"
+    t = obj.get("time")
+    when = "t=?" if t is None else f"t={_fmt_tick(float(t))}"
+    data = json.dumps(obj.get("data", {}), sort_keys=True)
+    if len(data) > 120:
+        data = data[:117] + "..."
+    return f"{when} {obj.get('kind')} {data}"
+
+
+def render_diff(report: DiffReport) -> str:
+    """Terminal rendering of a :class:`DiffReport`."""
+    from ..reporting import banner
+
+    lines = [banner(f"repro diff — {report.label_a} vs {report.label_b}")]
+    lines.append(f"verdict: {report.headline()}")
+    if report.reason:
+        lines.append(f"  {report.reason}")
+    for note in report.notes:
+        lines.append(f"  note: {note}")
+    a = report.sides.get("a", {})
+    b = report.sides.get("b", {})
+    if a.get("events") is not None:
+        lines.append(
+            f"{report.label_a}: {a.get('events', 0)} events, "
+            f"{a.get('structural_events', 0)} structural, "
+            f"{a.get('checkpoints', 0)} checkpoints, "
+            f"{a.get('placements', 0)} placements"
+        )
+        lines.append(
+            f"{report.label_b}: {b.get('events', 0)} events, "
+            f"{b.get('structural_events', 0)} structural, "
+            f"{b.get('checkpoints', 0)} checkpoints, "
+            f"{b.get('placements', 0)} placements"
+        )
+    div = report.divergence
+    if div is not None:
+        lines.append("")
+        lines.append(
+            f"first divergent structural event (#{div.index}): {div.reason}"
+        )
+        for ctx in div.context:
+            lines.append(f"    = {_fmt_event(ctx)}")
+        lines.append(f"  A > {_fmt_event(div.a)}")
+        lines.append(f"  B > {_fmt_event(div.b)}")
+        for after in div.after_a:
+            lines.append(f"  A + {_fmt_event(after)}")
+        for after in div.after_b:
+            lines.append(f"  B + {_fmt_event(after)}")
+    cp = report.checkpoints
+    if cp:
+        status = "match" if not cp.get("mismatched") else (
+            f"{cp['mismatched']} MISMATCHED"
+        )
+        lines.append(
+            f"fingerprints: {cp.get('common', 0)} common ticks ({status}); "
+            f"final placement fingerprints "
+            f"{'match' if cp.get('final_match') else 'DIFFER'}"
+        )
+        for mismatch in cp.get("mismatches", ()):
+            lines.append(
+                f"  t={_fmt_tick(mismatch['time'])}: {mismatch['hash_a']} vs "
+                f"{mismatch['hash_b']}"
+            )
+    pl = report.placements
+    if pl:
+        lines.append(
+            f"placements: {pl.get('common', 0)} common containers, "
+            f"{pl.get('flipped', 0)} flipped, "
+            f"{pl.get('only_a', 0)} only-{report.label_a}, "
+            f"{pl.get('only_b', 0)} only-{report.label_b}"
+        )
+    if report.flips:
+        lines.append("")
+        lines.append("flipped placements (earliest first):")
+        for flip in report.flips:
+            when = "?" if flip.time_a is None else _fmt_tick(float(flip.time_a))
+            lines.append(
+                f"  {flip.container_id} ({flip.app_id or 'task'}) at t={when}: "
+                f"{flip.node_a} vs {flip.node_b}"
+            )
+            for why in flip.explanation:
+                lines.append(f"    - {why}")
+        hidden = pl.get("flipped", 0) - len(report.flips)
+        if hidden > 0:
+            lines.append(f"  ... {hidden} more flips not shown")
+    series = report.series
+    if series:
+        lines.append("")
+        lines.append(
+            f"series: {series.get('deterministic_matched', 0)} deterministic "
+            f"match, {len(series.get('deterministic_deltas', ()))} differ; "
+            f"{series.get('wall_compared', 0)} wall series compared, "
+            f"{len(series.get('wall_flagged', ()))} beyond noise "
+            f"(ratio {report.thresholds.get('ratio')}, "
+            f"floor {report.thresholds.get('abs_floor_s')}s)"
+        )
+        for delta in series.get("deterministic_deltas", ())[:8]:
+            parts = [f"  ~ {delta.get('series')}: {delta.get('status')}"]
+            for stat in ("mean", "max", "last", "points"):
+                if stat in delta:
+                    parts.append(f"{stat} {delta[stat][0]} vs {delta[stat][1]}")
+            lines.append(" ".join(parts))
+        for flag in series.get("wall_flagged", ())[:8]:
+            lines.append(
+                f"  ! {flag['series']}: mean {flag['mean'][0]} vs "
+                f"{flag['mean'][1]} (beyond noise threshold)"
+            )
+    prof = report.profile
+    if prof.get("paths_flagged"):
+        lines.append(
+            f"span profile: {prof.get('paths_compared', 0)} common paths, "
+            f"{len(prof['paths_flagged'])} beyond noise"
+        )
+        for flag in prof["paths_flagged"][:8]:
+            lines.append(
+                f"  ! {flag['path']}: self {flag['self_s'][0]}s vs "
+                f"{flag['self_s'][1]}s"
+            )
+    return "\n".join(lines)
+
+
+def render_diff_html(report: DiffReport, *, title: str | None = None) -> str:
+    """Self-contained HTML diff report (same stylesheet as the dashboard:
+    no external assets, light/dark via CSS custom properties)."""
+    import html as _html
+
+    from .report import HTML_STYLE
+
+    if title is None:
+        title = f"repro diff — {report.label_a} vs {report.label_b}"
+    esc = lambda value: _html.escape(str(value))  # noqa: E731
+
+    badge_class = {
+        VERDICT_IDENTICAL: "pass",
+        VERDICT_EQUIVALENT: "pass",
+        VERDICT_DIVERGED: "fail",
+        VERDICT_INCOMPARABLE: "fail",
+    }[report.verdict]
+
+    def table(headers: list[str], rows: list[list[Any]]) -> str:
+        head = "".join(f"<th>{esc(h)}</th>" for h in headers)
+        body = "".join(
+            "<tr>" + "".join(
+                f"<td><pre class='cell'>{esc(cell)}</pre></td>" for cell in row
+            ) + "</tr>"
+            for row in rows
+        )
+        return (
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>"
+        )
+
+    sections: list[str] = []
+    a = report.sides.get("a", {})
+    b = report.sides.get("b", {})
+    if a.get("events") is not None:
+        sections.append("<h2>Runs</h2>" + table(
+            ["side", "path", "events", "structural", "checkpoints",
+             "placements"],
+            [
+                [report.label_a, a.get("path", "-"), a.get("events", 0),
+                 a.get("structural_events", "-"), a.get("checkpoints", "-"),
+                 a.get("placements", "-")],
+                [report.label_b, b.get("path", "-"), b.get("events", 0),
+                 b.get("structural_events", "-"), b.get("checkpoints", "-"),
+                 b.get("placements", "-")],
+            ],
+        ))
+    div = report.divergence
+    if div is not None:
+        rows = [["=", _fmt_event(ctx)] for ctx in div.context]
+        rows.append([f"{report.label_a} >", _fmt_event(div.a)])
+        rows.append([f"{report.label_b} >", _fmt_event(div.b)])
+        rows.extend([f"{report.label_a} +", _fmt_event(e)] for e in div.after_a)
+        rows.extend([f"{report.label_b} +", _fmt_event(e)] for e in div.after_b)
+        sections.append(
+            f"<h2>First divergent event (#{div.index})</h2>"
+            f"<p class='note'>{esc(div.reason)}</p>"
+            + table(["", "event"], rows)
+        )
+    if report.flips:
+        rows = []
+        for flip in report.flips:
+            rows.append([
+                flip.container_id,
+                flip.app_id or "task",
+                "?" if flip.time_a is None else _fmt_tick(float(flip.time_a)),
+                flip.node_a,
+                flip.node_b,
+                "\n".join(flip.explanation) or "-",
+            ])
+        sections.append(
+            "<h2>Flipped placements</h2>" + table(
+                ["container", "app", "t", report.label_a, report.label_b,
+                 "why"],
+                rows,
+            )
+        )
+    cp = report.checkpoints
+    if cp.get("mismatches"):
+        sections.append("<h2>Fingerprint mismatches</h2>" + table(
+            ["t", report.label_a, report.label_b],
+            [[_fmt_tick(m["time"]), m["hash_a"], m["hash_b"]]
+             for m in cp["mismatches"]],
+        ))
+    series = report.series
+    det_deltas = series.get("deterministic_deltas", ())
+    if det_deltas:
+        rows = []
+        for delta in det_deltas:
+            detail = "; ".join(
+                f"{stat} {delta[stat][0]} vs {delta[stat][1]}"
+                for stat in ("mean", "max", "last", "points") if stat in delta
+            )
+            rows.append([delta.get("series"), delta.get("status"), detail or "-"])
+        sections.append("<h2>Deterministic series deltas</h2>" + table(
+            ["series", "status", "detail"], rows))
+    wall_flagged = series.get("wall_flagged", ())
+    if wall_flagged:
+        sections.append(
+            "<h2>Wall-clock series beyond noise</h2>"
+            f"<p class='note'>threshold: ratio "
+            f"{esc(report.thresholds.get('ratio'))} + floor "
+            f"{esc(report.thresholds.get('abs_floor_s'))}s</p>"
+            + table(
+                ["series", f"mean {report.label_a}", f"mean {report.label_b}"],
+                [[f["series"], f["mean"][0], f["mean"][1]]
+                 for f in wall_flagged],
+            )
+        )
+    flagged_paths = report.profile.get("paths_flagged", ())
+    if flagged_paths:
+        sections.append("<h2>Span-profile paths beyond noise</h2>" + table(
+            ["path", f"self s {report.label_a}", f"self s {report.label_b}"],
+            [[f["path"], f["self_s"][0], f["self_s"][1]]
+             for f in flagged_paths],
+        ))
+    notes = "".join(
+        f"<p class='note'>note: {esc(note)}</p>" for note in report.notes
+    )
+
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{esc(title)}</title>
+<style>{HTML_STYLE}</style>
+</head>
+<body class="viz-root">
+<h1>{esc(title)}</h1>
+<p class="meta">verdict
+<span class="badge {badge_class}">{esc(report.headline())}</span>
+&middot; {esc(report.reason)}</p>
+{notes}
+{''.join(sections)}
+</body>
+</html>
+"""

@@ -34,6 +34,7 @@ __all__ = [
     "SpanStat",
     "ProfileReport",
     "build_profile",
+    "span_deltas",
     "AppCriticalPath",
     "critical_paths",
     "render_profile",
@@ -135,6 +136,48 @@ class ProfileReport:
             }
             for stat in self.sorted_spans()
         }
+
+
+def span_deltas(
+    a: ProfileReport,
+    b: ProfileReport,
+    *,
+    ratio: float = 1.5,
+    abs_floor_s: float = 0.02,
+) -> dict[str, Any]:
+    """Per-path differences between two span profiles (``repro diff``'s
+    statistical axis).
+
+    Sample *counts* are deterministic per engine/sampling configuration,
+    so count mismatches on common paths are reported exactly (but they are
+    informational — span cadence legitimately differs between engines).
+    Self-*times* are wall clock, so a path is only flagged when the larger
+    side exceeds the smaller scaled by ``ratio`` plus ``abs_floor_s`` —
+    the bench-compare noise model, keeping runner jitter out of the diff.
+    """
+    paths_a, paths_b = set(a.spans), set(b.spans)
+    common = paths_a & paths_b
+    count_deltas: list[dict[str, Any]] = []
+    flagged: list[dict[str, Any]] = []
+    for path in sorted(common):
+        stat_a, stat_b = a.spans[path], b.spans[path]
+        if stat_a.count != stat_b.count:
+            count_deltas.append(
+                {"path": path, "count": [stat_a.count, stat_b.count]}
+            )
+        lo, hi = sorted((stat_a.self_s, stat_b.self_s))
+        if hi > lo * ratio + abs_floor_s:
+            flagged.append({
+                "path": path,
+                "self_s": [round(stat_a.self_s, 6), round(stat_b.self_s, 6)],
+            })
+    return {
+        "paths_compared": len(common),
+        "paths_only_a": sorted(paths_a - paths_b),
+        "paths_only_b": sorted(paths_b - paths_a),
+        "count_deltas": count_deltas,
+        "paths_flagged": flagged,
+    }
 
 
 def _iter_objs(

@@ -190,6 +190,20 @@ class ReplayState:
                         )
                     )
 
+    def placement_map(self) -> dict[str, str]:
+        """Snapshot of the reconstructed container → node map."""
+        return dict(self._placements)
+
+    def down_nodes(self) -> set[str]:
+        """Snapshot of the reconstructed down-node set."""
+        return set(self._down)
+
+    def fingerprint(self) -> str:
+        """Fingerprint of the *current* reconstructed state — after the
+        last fed event this is the run's final placement fingerprint,
+        which ``repro diff`` cross-checks between two runs."""
+        return placement_fingerprint(self._placements, self._down)
+
     def finish(self) -> ReplayReport:
         """Final report (idempotent; safe to call once feeding is done)."""
         report = self.report

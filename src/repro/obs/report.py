@@ -761,6 +761,12 @@ _HTML_STYLE = """
 """
 
 
+#: Public alias: the shared self-contained stylesheet every HTML report in
+#: this repo embeds (dashboard here, ``repro diff`` in ``obs/diff.py``),
+#: so cross-artifact styling stays consistent by construction.
+HTML_STYLE = _HTML_STYLE
+
+
 def render_dashboard_html(
     summary: Mapping[str, Any], *, title: str = "Medea run dashboard"
 ) -> str:

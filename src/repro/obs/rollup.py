@@ -51,6 +51,7 @@ __all__ = [
     "rollup_from_env",
     "load_rollup",
     "is_rollup_doc",
+    "summary_series",
     "build_dashboard_from_rollup",
 ]
 
@@ -291,6 +292,17 @@ def load_rollup(path: str | os.PathLike) -> dict[str, Any]:
             f"unexpected 'schema' field)"
         )
     return doc
+
+
+def summary_series(
+    doc: Mapping[str, Any],
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """``(deterministic, wall)`` series maps of a dashboard-shaped summary
+    or rollup document — the inputs ``repro diff`` compares when given two
+    rollups instead of raw traces."""
+    deterministic = dict(doc.get("series") or {})
+    wall = dict((doc.get(WALL_KEY) or {}).get("series") or {})
+    return deterministic, wall
 
 
 class _RollupTimeline:

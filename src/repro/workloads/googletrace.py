@@ -19,7 +19,6 @@ from ..core.requests import TaskRequest
 
 __all__ = ["GoogleTraceConfig", "generate_trace"]
 
-_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -49,6 +48,9 @@ def generate_trace(
 ) -> Iterator[tuple[float, TaskRequest]]:
     """Yield ``count`` (arrival_time, task) pairs at the sped-up timescale."""
     rng = random.Random(config.seed)
+    # Per-invocation numbering: same seed => same ids, regardless of how
+    # many streams were generated earlier in the process.
+    ids = itertools.count(1)
     now = 0.0
     bursting = False
     base_rate = config.speedup / config.mean_interarrival_s  # arrivals/sec
@@ -64,7 +66,7 @@ def generate_trace(
         duration = config.duration_min_s * rng.paretovariate(config.duration_alpha)
         # Durations shrink with the speedup too (trace replay semantics).
         duration /= config.speedup
-        job = f"goog-{next(_ids):07d}"
+        job = f"goog-{next(ids):07d}"
         yield now, TaskRequest(
             task_id=f"{job}/t0",
             app_id=job,

@@ -30,7 +30,10 @@ from ..taskscheduler.base import TASK_TAG
 
 __all__ = ["GridMixConfig", "generate_tasks", "fill_cluster"]
 
-_ids = itertools.count(1)
+# Task/job ids are numbered per generator invocation, NOT from a
+# process-global counter: same seed + same knobs must yield the exact
+# same stream (ids included) no matter how many runs preceded it in the
+# process — the determinism contract `repro diff` verifies.
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,7 @@ def generate_tasks(
     if count is None and horizon_s is None:
         raise ValueError("need count or horizon_s to bound the stream")
     rng = random.Random(config.seed)
+    ids = itertools.count(1)
     now = 0.0
     emitted = 0
     job_remaining = 0
@@ -71,14 +75,14 @@ def generate_tasks(
         if horizon_s is not None and now > horizon_s:
             return
         if job_remaining == 0:
-            job_id = f"gridmix-{next(_ids):06d}"
+            job_id = f"gridmix-{next(ids):06d}"
             # Geometric number of tasks per job (>= 1).
             job_remaining = 1
             while rng.random() > config.tasks_per_job_p:
                 job_remaining += 1
         duration = rng.lognormvariate(config.duration_mu, config.duration_sigma)
         task = TaskRequest(
-            task_id=f"{job_id}/t{next(_ids):07d}",
+            task_id=f"{job_id}/t{next(ids):07d}",
             app_id=job_id,
             resource=config.task_resource,
             duration_s=duration,
@@ -109,6 +113,7 @@ def fill_cluster(
     if not 0.0 <= target_memory_fraction < 1.0:
         raise ValueError("target fraction must be in [0, 1)")
     rng = random.Random(config.seed)
+    ids = itertools.count(1)
     nodes = [n for n in state.topology if n.available]
     placed = 0
     attempts = 0
@@ -121,7 +126,7 @@ def fill_cluster(
         if not node.can_fit(fill_resource):
             continue
         state.allocate(
-            f"{app_id}/t{next(_ids):07d}",
+            f"{app_id}/t{next(ids):07d}",
             node.node_id,
             fill_resource,
             (TASK_TAG,),

@@ -194,7 +194,7 @@ class TestBenchCompareCli:
 
     def test_regression_exits_nonzero(self, tmp_path, capsys):
         base, cur = self._files(tmp_path, 2.0)
-        assert cli_main(["bench-compare", base, cur]) == 1
+        assert cli_main(["bench-compare", base, cur]) == 3
         assert "verdict: FAIL" in capsys.readouterr().out
 
     def test_custom_tolerance_flags(self, tmp_path):
@@ -205,7 +205,7 @@ class TestBenchCompareCli:
         assert cli_main([
             "bench-compare", base, cur, "--ratio", "1.1",
             "--abs-floor", "0.0",
-        ]) == 1
+        ]) == 3
 
     def test_missing_file_reports_error(self, tmp_path, capsys):
         base, _ = self._files(tmp_path, 1.0)

@@ -201,7 +201,7 @@ class TestBenchCompareSeries:
         # ...but --series pulls it into the gate, and 1.30 > 1.05*1.05+0.02.
         assert main(["bench-compare", str(baseline), str(current),
                      "--series", "obs_overhead_ratio",
-                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 1
+                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 3
         assert "REGRESSED" in capsys.readouterr().out
 
     def test_committed_obs_baseline_is_usable(self, tmp_path, capsys):
@@ -219,4 +219,4 @@ class TestBenchCompareSeries:
         bad.write_text(_json.dumps(self._doc(1.40)))
         assert main(["bench-compare", baseline, str(bad),
                      "--series", "obs_overhead_ratio",
-                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 1
+                     "--ratio", "1.05", "--abs-floor", "0.02"]) == 3

@@ -1,0 +1,403 @@
+"""Cross-run differential observability: ``repro.obs.diff`` + ``repro diff``.
+
+Covers the diff plane's contract end to end: the backend × engine
+same-seed equivalence matrix, first-divergence localization, causal
+placement-flip explanations from decision audits, the INCOMPARABLE
+guard rails, exit-code semantics, artifact outputs, and the
+trace-convert canonical round trip the diff relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import NodeCandidatesScheduler, SerialScheduler, build_cluster
+from repro.apps import hbase_instance, tensorflow_instance
+from repro.cli import EXIT_DATA_ERROR, EXIT_GATE, EXIT_OK, main
+from repro.obs import (
+    STRUCTURAL_KINDS,
+    VERDICT_DIVERGED,
+    VERDICT_EQUIVALENT,
+    VERDICT_IDENTICAL,
+    VERDICT_INCOMPARABLE,
+    MemorySink,
+    MtrcSink,
+    Tracer,
+    diff_events,
+    diff_rollups,
+    diff_traces,
+    render_diff,
+    render_diff_html,
+    set_tracer,
+)
+from repro.obs.metrics import Metrics, set_metrics
+from repro.obs.sample import SamplingPolicy, TraceSampler
+from repro.sim import ClusterSimulation, SimConfig
+from repro.workloads import GridMixConfig, generate_tasks
+
+
+@pytest.fixture
+def isolate_obs():
+    prev_tracer = set_tracer(None)
+    prev_metrics = set_metrics(Metrics())
+    yield
+    set_tracer(prev_tracer)
+    set_metrics(prev_metrics)
+
+
+def _run_events(
+    *,
+    seed: int = 5,
+    engine: str = "periodic",
+    backend: str | None = None,
+    scheduler=None,
+    audit: bool = False,
+    horizon: float = 40.0,
+    sample: str | None = None,
+):
+    """Run a small mixed workload and return the decoded trace objects."""
+    sink = MemorySink()
+    sampler = TraceSampler(SamplingPolicy.parse(sample)) if sample else None
+    tracer = Tracer([sink], sampler=sampler)
+    scheduler = scheduler or NodeCandidatesScheduler()
+    if audit:
+        scheduler.audit_enabled = True
+    topo = build_cluster(10, racks=2, memory_mb=16 * 1024, vcores=8)
+    sim = ClusterSimulation(
+        topo,
+        scheduler,
+        config=SimConfig(
+            scheduling_interval_s=5.0, horizon_s=horizon,
+            engine=engine, backend=backend,
+        ),
+        tracer=tracer,
+        metrics=Metrics(),
+    )
+    sim.submit_lra(hbase_instance("lra-0"), at=2.0)
+    sim.submit_lra(tensorflow_instance("lra-1"), at=9.0)
+    for arrival, task in generate_tasks(GridMixConfig(seed=seed), count=20):
+        if arrival < horizon:
+            sim.submit_task(task, at=arrival)
+    sim.run(horizon)
+    tracer.close()
+    return [e.to_obj() for e in sink.events]
+
+
+class TestVerdicts:
+    def test_same_stream_is_identical(self):
+        events = _run_events()
+        report = diff_events(events, events)
+        assert report.verdict == VERDICT_IDENTICAL
+        assert report.ok and report.comparable
+        assert report.headline() == "IDENTICAL"
+        assert not report.flips
+
+    @pytest.mark.parametrize("engine_b,backend_b", [
+        ("ondemand", None),
+        ("periodic", "array"),
+        ("ondemand", "array"),
+    ])
+    def test_same_seed_matrix_is_equivalent(self, engine_b, backend_b):
+        """The determinism contract: same seed, any engine × backend combo
+        makes the same decisions — only cadence differs."""
+        a = _run_events(engine="periodic", backend="object")
+        b = _run_events(engine=engine_b, backend=backend_b)
+        report = diff_events(a, b, label_a="periodic/object",
+                             label_b=f"{engine_b}/{backend_b or 'object'}")
+        assert report.verdict in (VERDICT_IDENTICAL, VERDICT_EQUIVALENT)
+        assert report.ok
+        assert report.placements["flipped"] == 0
+        assert report.checkpoints["final_match"]
+        assert report.checkpoints["mismatched"] == 0
+
+    def test_different_seed_diverges_with_localization(self):
+        a = _run_events(seed=5)
+        b = _run_events(seed=6)
+        report = diff_events(a, b)
+        assert report.verdict == VERDICT_DIVERGED
+        assert not report.ok
+        assert report.tick is not None
+        assert report.headline().startswith("DIVERGED@")
+        div = report.divergence
+        assert div is not None
+        # The first divergent pair is concrete: canonical events, a reason,
+        # and each side's following structural context.
+        assert div.a is not None and div.b is not None
+        assert div.reason
+        assert div.after_a or div.after_b
+
+    def test_scheduler_flip_explained_from_audit(self):
+        a = _run_events(scheduler=NodeCandidatesScheduler(), audit=True)
+        b = _run_events(scheduler=SerialScheduler(), audit=True)
+        report = diff_events(a, b, label_a="nc", label_b="serial")
+        assert report.verdict == VERDICT_DIVERGED
+        assert report.placements["flipped"] > 0
+        assert report.flips
+        # At least one flip carries a causal explanation derived from the
+        # recorded scheduler.audit payloads.
+        explained = [f for f in report.flips if f.explanation]
+        assert explained
+        text = "\n".join(line for f in explained for line in f.explanation)
+        assert ("pruned" in text or "score terms" in text
+                or "candidate" in text or "upstream decision" in text)
+
+    def test_empty_side_is_incomparable(self):
+        events = _run_events()
+        report = diff_events([], events)
+        assert report.verdict == VERDICT_INCOMPARABLE
+        assert not report.ok and not report.comparable
+
+    def test_disjoint_structural_kinds_are_incomparable(self):
+        a = [{"kind": "lra.submit", "seq": 0, "time": 1.0,
+              "data": {"app_id": "x", "containers": 1, "constraints": 0}}]
+        b = [{"kind": "task.submit", "seq": 0, "time": 1.0,
+              "data": {"task_id": "t", "queue": "default"}}]
+        report = diff_events(a, b)
+        assert report.verdict == VERDICT_INCOMPARABLE
+        assert "no shared structural" in report.reason
+
+    def test_structural_tail_imbalance_diverges(self):
+        events = _run_events()
+        structural = [e for e in events if e["kind"] in STRUCTURAL_KINDS]
+        assert len(structural) > 3
+        report = diff_events(events, events[:-len(events) // 4])
+        assert report.verdict == VERDICT_DIVERGED
+        assert "ended after" in report.divergence.reason
+
+    def test_checkpoint_mismatch_alone_diverges(self):
+        base = [
+            {"kind": "lra.submit", "seq": 0, "time": 1.0,
+             "data": {"app_id": "x", "containers": 1, "constraints": 0}},
+        ]
+        a = base + [{"kind": "sim.state_hash", "seq": 1, "time": 2.0,
+                     "data": {"hash": "aaaa"}}]
+        b = base + [{"kind": "sim.state_hash", "seq": 1, "time": 2.0,
+                     "data": {"hash": "bbbb"}}]
+        report = diff_events(a, b)
+        assert report.verdict == VERDICT_DIVERGED
+        assert report.tick == 2.0
+        assert "fingerprints disagree" in report.reason
+
+
+class TestRenderers:
+    def test_render_diff_terminal(self):
+        a = _run_events(seed=5, audit=True)
+        b = _run_events(seed=6, audit=True)
+        report = diff_events(a, b, label_a="A", label_b="B")
+        text = render_diff(report)
+        assert "verdict: DIVERGED@" in text
+        assert "first divergent structural event" in text
+        assert "A >" in text and "B >" in text
+
+    def test_render_diff_html_self_contained(self):
+        a = _run_events(seed=5, audit=True)
+        b = _run_events(seed=6, audit=True)
+        html = render_diff_html(diff_events(a, b))
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "badge fail" in html
+        assert "<style>" in html and "http" not in html.split("<style>")[1].split("</style>")[0]
+
+    def test_report_to_obj_round_trips_json(self):
+        a = _run_events(seed=5)
+        b = _run_events(seed=6)
+        obj = diff_events(a, b).to_obj()
+        encoded = json.dumps(obj, sort_keys=True)
+        assert json.loads(encoded)["verdict"] == VERDICT_DIVERGED
+        assert json.loads(encoded)["divergence"]["reason"]
+
+
+class TestDiffTraces:
+    def _write_jsonl(self, path, events):
+        with open(path, "w", encoding="utf-8") as handle:
+            for obj in events:
+                handle.write(json.dumps(obj, sort_keys=True) + "\n")
+        return str(path)
+
+    def _write_mtrc(self, path, events):
+        sink = MtrcSink(str(path))
+        for obj in events:
+            sink.append_obj(obj)
+        sink.close()
+        return str(path)
+
+    def test_jsonl_vs_mtrc_same_run_identical(self, tmp_path):
+        events = _run_events()
+        a = self._write_jsonl(tmp_path / "a.jsonl", events)
+        b = self._write_mtrc(tmp_path / "b.mtrc", events)
+        report = diff_traces(a, b)
+        assert report.verdict == VERDICT_IDENTICAL
+
+    def test_rollup_vs_trace_incomparable(self, tmp_path, isolate_obs):
+        events = _run_events()
+        trace = self._write_jsonl(tmp_path / "a.jsonl", events)
+        rollup = tmp_path / "roll.json"
+        assert main([
+            "simulate", "--nodes", "10", "--horizon", "30",
+            "--lras", "1", "--tasks", "5", "--scheduler", "nc",
+            "--rollup", str(rollup),
+        ]) == EXIT_OK
+        report = diff_traces(str(rollup), trace)
+        assert report.verdict == VERDICT_INCOMPARABLE
+        assert "rollup" in report.reason
+
+
+class TestDiffRollups:
+    def _doc(self, value):
+        return {
+            "schema": "medea.rollup/1",
+            "rollup": {"interval_s": 1.0},
+            "meta": {"events": 10},
+            "series": {"containers": {
+                "mean": value, "max": value, "last": value,
+                "points": [[0.0, value]],
+            }},
+            "profile": {"spans": {}},
+            "wall": {"series": {}},
+        }
+
+    def test_equal_docs_identical(self):
+        report = diff_rollups(self._doc(3.0), self._doc(3.0))
+        assert report.verdict == VERDICT_IDENTICAL
+
+    def test_deterministic_delta_diverges_with_tick(self):
+        report = diff_rollups(self._doc(3.0), self._doc(4.0))
+        assert report.verdict == VERDICT_DIVERGED
+        assert report.tick == 0.0
+        assert "containers" in report.reason
+
+
+class TestCliDiff:
+    def _trace(self, tmp_path, name, *, seed, isolate=None):
+        events = _run_events(seed=seed)
+        path = tmp_path / name
+        with open(path, "w", encoding="utf-8") as handle:
+            for obj in events:
+                handle.write(json.dumps(obj, sort_keys=True) + "\n")
+        return str(path)
+
+    def test_equivalent_exits_zero(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl", seed=5)
+        b = self._trace(tmp_path, "b.jsonl", seed=5)
+        assert main(["diff", a, b, "--fail-on-divergence"]) == EXIT_OK
+        assert "verdict: IDENTICAL" in capsys.readouterr().out
+
+    def test_divergence_gates_with_exit_3(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl", seed=5)
+        b = self._trace(tmp_path, "b.jsonl", seed=6)
+        assert main(["diff", a, b]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["diff", a, b, "--fail-on-divergence"]) == EXIT_GATE
+        captured = capsys.readouterr()
+        assert "failing on DIVERGED@" in captured.err
+
+    def test_missing_file_is_data_error(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl", seed=5)
+        assert main(["diff", a, str(tmp_path / "nope.jsonl")]) == EXIT_DATA_ERROR
+        assert "diff:" in capsys.readouterr().err
+
+    def test_json_and_html_artifacts(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl", seed=5)
+        b = self._trace(tmp_path, "b.jsonl", seed=6)
+        json_out = tmp_path / "diff.json"
+        html_out = tmp_path / "diff.html"
+        assert main([
+            "diff", a, b, "--json", str(json_out), "--html", str(html_out),
+        ]) == EXIT_OK
+        doc = json.loads(json_out.read_text())
+        assert doc["verdict"] == VERDICT_DIVERGED
+        assert doc["headline"].startswith("DIVERGED@")
+        # --json output is byte-stable: sorted keys, fixed indentation.
+        assert json_out.read_text() == json.dumps(
+            doc, indent=2, sort_keys=True
+        ) + "\n"
+        assert html_out.read_text().lstrip().startswith("<!DOCTYPE html>")
+
+    def test_compare_diff_prints_pairwise_forensics(self, capsys, isolate_obs):
+        assert main([
+            "compare", "--nodes", "10", "--instances", "2", "--diff",
+        ]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "pairwise placement diff vs MEDEA-ILP" in out
+        assert "DIVERGED@" in out or "EQUIVALENT" in out or "IDENTICAL" in out
+
+
+class TestTraceConvertRoundTrip:
+    """JSONL → .mtrc → JSONL preserves the canonical event stream
+    byte-identically — the identity the diff plane's IDENTICAL verdict
+    and the determinism contract are stated over."""
+
+    def _canonical_lines(self, path):
+        from repro.obs.report import iter_trace
+
+        return [
+            json.dumps({k: v for k, v in obj.items() if k != "wall"},
+                       sort_keys=True, separators=(",", ":"))
+            for obj in iter_trace(path)
+        ]
+
+    def _round_trip(self, tmp_path, events):
+        src = tmp_path / "src.jsonl"
+        with open(src, "w", encoding="utf-8") as handle:
+            for obj in events:
+                handle.write(json.dumps(obj, sort_keys=True) + "\n")
+        mid = tmp_path / "mid.mtrc"
+        back = tmp_path / "back.jsonl"
+        assert main(["trace-convert", str(src), str(mid)]) == EXIT_OK
+        assert main(["trace-convert", str(mid), str(back)]) == EXIT_OK
+        return str(src), str(back)
+
+    def test_full_trace_round_trips_canonically(self, tmp_path, capsys):
+        events = _run_events()
+        src, back = self._round_trip(tmp_path, events)
+        assert self._canonical_lines(src) == self._canonical_lines(back)
+        report = diff_traces(src, back)
+        assert report.verdict == VERDICT_IDENTICAL
+
+    def test_sampled_trace_round_trips_with_sampled_hash(self, tmp_path, capsys):
+        events = _run_events(sample="heartbeat=0.25,task=0.5,seed=7")
+        hashes = [e for e in events if e["kind"] == "sim.state_hash"]
+        assert hashes and any("sampled_hash" in e["data"] for e in hashes)
+        src, back = self._round_trip(tmp_path, events)
+        assert self._canonical_lines(src) == self._canonical_lines(back)
+        from repro.obs.report import iter_trace
+
+        round_tripped = [
+            obj for obj in iter_trace(back) if obj["kind"] == "sim.state_hash"
+        ]
+        assert any("sampled_hash" in e["data"] for e in round_tripped)
+
+
+class TestJsonStability:
+    """Satellite: machine-readable outputs are byte-stable (sorted keys),
+    so two invocations over the same inputs diff clean."""
+
+    def test_dashboard_json_is_sorted_and_stable(self, tmp_path, capsys,
+                                                 isolate_obs):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "simulate", "--nodes", "10", "--horizon", "30", "--lras", "1",
+            "--tasks", "5", "--scheduler", "nc", "--trace-out", str(trace),
+        ]) == EXIT_OK
+        set_tracer(None)
+        out1 = tmp_path / "d1.json"
+        out2 = tmp_path / "d2.json"
+        assert main(["dashboard", str(trace), "--json", str(out1)]) == EXIT_OK
+        assert main(["dashboard", str(trace), "--json", str(out2)]) == EXIT_OK
+        text = out1.read_text()
+        assert text == out2.read_text()
+        doc = json.loads(text)
+        assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def test_rollup_file_is_sorted(self, tmp_path, capsys, isolate_obs):
+        rollup = tmp_path / "roll.json"
+        assert main([
+            "simulate", "--nodes", "10", "--horizon", "30", "--lras", "1",
+            "--tasks", "5", "--scheduler", "nc", "--rollup", str(rollup),
+        ]) == EXIT_OK
+        text = rollup.read_text()
+        doc = json.loads(text)
+        assert doc["schema"] == "medea.rollup/1"
+        # Compact, sorted, newline-terminated — byte-stable across flushes.
+        assert text == json.dumps(doc, sort_keys=True) + "\n"

@@ -502,5 +502,5 @@ class TestCli:
         assert main(["dashboard", str(path), "--slo", str(rules)]) == 0
         assert main([
             "dashboard", str(path), "--slo", str(rules), "--fail-on-breach",
-        ]) == 1
+        ]) == 3
         assert "failing on SLO breach" in capsys.readouterr().err

@@ -57,9 +57,9 @@ def _configs() -> list[tuple[str, str]]:
     return list(CONFIGS)
 
 
-#: Task streams are generated once per scenario and shared across configs:
-#: the generators draw task ids from a process-global counter, so repeated
-#: generation would (correctly) yield differently-named tasks.
+#: Task streams are generated once per scenario and shared across configs
+#: (generation is fully deterministic per seed — ids included — so this
+#: cache is just an optimisation, not a correctness requirement).
 _TASK_STREAMS: dict[str, list[tuple[float, TaskRequest]]] = {}
 
 
