@@ -55,6 +55,7 @@ streams bounded rollup documents to disk; ``--watchdog {warn,abort}`` (or
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -305,6 +306,100 @@ def build_parser() -> argparse.ArgumentParser:
         "--series", action="append", default=None, metavar="NAME",
         help="gate this extra per-benchmark series (repeatable), e.g. "
              "obs_overhead_ratio; defaults to the built-in gated set",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive the placement hot path with seeded load; sweep offered "
+             "rates into a latency-vs-throughput curve",
+    )
+    p_load.add_argument(
+        "--mode", choices=("open", "closed"), default="open",
+        help="open loop (scheduled arrivals, coordinated-omission-free) or "
+             "closed loop (fixed workers, CO-corrected); default open",
+    )
+    p_load.add_argument(
+        "--arrival", choices=("poisson", "burst", "uniform"),
+        default="poisson", help="arrival process (default poisson)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=50.0, metavar="RPS",
+        help="offered load for a single-step run (default 50)",
+    )
+    p_load.add_argument(
+        "--sweep", default=None, metavar="R1,R2,...",
+        help="comma-separated offered-rate ladder in rps (overrides --rate)",
+    )
+    p_load.add_argument(
+        "--requests", type=int, default=200, metavar="N",
+        help="requests per step (default 200)",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=16, metavar="N",
+        help="worker pool size / closed-loop client count (default 16)",
+    )
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="arrival-schedule seed (default 0)")
+    p_load.add_argument(
+        "--nodes", type=int, default=100,
+        help="in-process cluster size (default 100)",
+    )
+    p_load.add_argument("--racks", type=int, default=4,
+                        help="in-process rack count (default 4)")
+    p_load.add_argument(
+        "--scheduler", default="node-candidates",
+        choices=("node-candidates", "tag-popularity", "serial",
+                 "jkube", "jkube++", "yarn"),
+        help="scheduler behind the in-process service "
+             "(default node-candidates)",
+    )
+    p_load.add_argument(
+        "--containers", type=int, default=4,
+        help="containers per generated LRA request (default 4)",
+    )
+    p_load.add_argument(
+        "--max-pending", type=int, default=128, metavar="N",
+        help="admission limit of the in-process service (default 128)",
+    )
+    p_load.add_argument(
+        "--place-delay", type=float, default=0.0, metavar="SECONDS",
+        help="inject an artificial delay into the placement critical "
+             "section (for validating the bench-compare gate)",
+    )
+    p_load.add_argument(
+        "--target", default=None, metavar="URL",
+        help="POST /place against this telemetry endpoint instead of an "
+             "in-process service",
+    )
+    p_load.add_argument(
+        "--http", action="store_true",
+        help="self-host a telemetry server and drive it over HTTP "
+             "POST /place (end-to-end serving path)",
+    )
+    p_load.add_argument(
+        "--virtual", action="store_true",
+        help="drive a seeded queueing model on a logical clock instead of "
+             "a real scheduler — fully deterministic output",
+    )
+    p_load.add_argument(
+        "--service-time", type=float, default=0.002, metavar="SECONDS",
+        help="--virtual mean service time (default 0.002)",
+    )
+    p_load.add_argument(
+        "--servers", type=int, default=1,
+        help="--virtual parallel service stations (default 1)",
+    )
+    p_load.add_argument(
+        "--json", dest="json_out", default=None, metavar="FILE",
+        help="write the sorted-key loadgen document ('-' for stdout)",
+    )
+    p_load.add_argument(
+        "--html", dest="html_out", default=None, metavar="FILE",
+        help="write a latency-vs-throughput HTML report",
+    )
+    p_load.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write a schema-2 BENCH_serve.json for repro bench-compare",
     )
 
     p_watch = sub.add_parser(
@@ -885,6 +980,135 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _build_placement_service(args: argparse.Namespace):
+    """Stand up an in-process PlacementService on a fresh synthetic
+    cluster, per the loadgen CLI flags."""
+    from . import (
+        ClusterState,
+        ConstraintManager,
+        ConstraintUnawareScheduler,
+        JKubePlusPlusScheduler,
+        JKubeScheduler,
+        NodeCandidatesScheduler,
+        SerialScheduler,
+        TagPopularityScheduler,
+        build_cluster,
+    )
+    from .core.scheduler import PlacementService
+
+    schedulers = {
+        "node-candidates": NodeCandidatesScheduler,
+        "tag-popularity": TagPopularityScheduler,
+        "serial": SerialScheduler,
+        "jkube": JKubeScheduler,
+        "jkube++": JKubePlusPlusScheduler,
+        "yarn": lambda: ConstraintUnawareScheduler(seed=11),
+    }
+    scheduler = schedulers[args.scheduler]()
+    topology = build_cluster(
+        args.nodes, racks=args.racks, memory_mb=16 * 1024, vcores=8
+    )
+    state = ClusterState(topology)
+    return PlacementService(
+        state,
+        scheduler,
+        ConstraintManager(topology),
+        max_pending=args.max_pending,
+        extra_place_delay_s=args.place_delay,
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .obs.load import (
+        HttpTarget,
+        InProcessTarget,
+        RequestTemplate,
+        VirtualTarget,
+        render_sweep,
+        render_sweep_html,
+        run_sweep,
+        sweep_to_bench,
+        sweep_to_json,
+    )
+
+    if args.sweep:
+        try:
+            rates = [float(r) for r in args.sweep.split(",") if r.strip()]
+        except ValueError:
+            print(f"loadgen: bad --sweep spec {args.sweep!r}", file=sys.stderr)
+            return EXIT_USAGE
+        if not rates or any(r <= 0 for r in rates):
+            print("loadgen: --sweep needs positive rates", file=sys.stderr)
+            return EXIT_USAGE
+    else:
+        rates = [args.rate]
+    if args.rate <= 0:
+        print("loadgen: --rate must be > 0", file=sys.stderr)
+        return EXIT_USAGE
+
+    self_server = None
+    try:
+        if args.virtual:
+            target = VirtualTarget(
+                service_time_s=args.service_time,
+                servers=args.servers,
+                seed=args.seed,
+            )
+        elif args.target:
+            target = HttpTarget(args.target)
+        else:
+            service = _build_placement_service(args)
+            if args.http:
+                from .obs.serve import install as install_server
+
+                self_server = install_server(0)
+                self_server.attach_placement(service)
+                print(f"loadgen: self-hosting {self_server.url}/place",
+                      file=sys.stderr)
+                target = HttpTarget(self_server.url)
+            else:
+                target = InProcessTarget(service)
+
+        template = RequestTemplate(containers=args.containers)
+        sweep = run_sweep(
+            target,
+            template,
+            rates=rates,
+            requests_per_step=args.requests,
+            mode=args.mode,
+            arrival=args.arrival,
+            concurrency=args.concurrency,
+            seed=args.seed,
+            progress=lambda line: print(f"loadgen: {line}", file=sys.stderr),
+        )
+    finally:
+        if self_server is not None:
+            from .obs.serve import shutdown_server
+
+            shutdown_server()
+
+    document = sweep_to_json(sweep)
+    if args.json_out == "-":
+        sys.stdout.write(document)
+    else:
+        print(render_sweep(sweep))
+    if args.json_out and args.json_out != "-":
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(document)
+        print(f"loadgen: wrote {args.json_out}", file=sys.stderr)
+    if args.html_out:
+        with open(args.html_out, "w", encoding="utf-8") as fh:
+            fh.write(render_sweep_html(sweep))
+        print(f"loadgen: wrote {args.html_out}", file=sys.stderr)
+    if args.bench_out:
+        bench = sweep_to_bench(sweep)
+        with open(args.bench_out, "w", encoding="utf-8") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"loadgen: wrote {args.bench_out}", file=sys.stderr)
+    return EXIT_OK
+
+
 def _fetch_snapshot_retrying(target: str, retry_for_s: float):
     """Fetch ``/snapshot``, retrying refused/failed connections with
     capped exponential backoff (0.25s doubling to 4s) until
@@ -915,10 +1139,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from .obs.serve import render_watch
 
     frames = 0
+    delay = args.interval
     try:
         while args.count is None or frames < args.count:
             if frames:
-                _time.sleep(args.interval)
+                _time.sleep(delay)
             try:
                 snapshot = _fetch_snapshot_retrying(args.target, args.retry_for)
             except (URLError, OSError, ValueError) as exc:
@@ -930,6 +1155,14 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 print("\x1b[2J\x1b[H", end="")
             print(render_watch(snapshot))
             frames += 1
+            # An unhealthy endpoint (503) answers with Retry-After; honour
+            # it instead of hammering the stalled server at --interval.
+            http = (snapshot.get("wall") or {}).get("http") or {}
+            retry_after = http.get("retry_after_s")
+            if http.get("status") == 503 and retry_after:
+                delay = max(args.interval, float(retry_after))
+            else:
+                delay = args.interval
     except KeyboardInterrupt:
         pass
     return EXIT_OK
@@ -1044,6 +1277,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench_compare(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "watch":
         return _cmd_watch(args)
     tracing = _configure_tracing(args)

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import abc
 import inspect
+import itertools
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from ..cluster.resources import Resource
 from ..cluster.state import ClusterState
@@ -24,13 +26,15 @@ from ..obs.audit import DecisionAudit
 from ..obs.events import EventKind
 from ..obs.metrics import Metrics, SolverStats, get_metrics
 from ..obs.spans import span
-from ..obs.trace import get_tracer
+from ..obs.trace import get_tracer, request_context
 from .constraint_manager import ConstraintManager
 from .requests import ContainerRequest, LRARequest
 
 __all__ = [
     "ContainerPlacement",
     "PlacementResult",
+    "PlacementResponse",
+    "PlacementService",
     "LRAScheduler",
     "ScratchPlacements",
     "feasible_nodes",
@@ -221,6 +225,287 @@ class LRAScheduler(abc.ABC):
                     data=result.audit.to_dict(),
                 )
         return result
+
+
+#: Reason strings :class:`PlacementService` reports for refused requests.
+REJECT_OVERLOAD = "overload"
+REJECT_UNPLACEABLE = "unplaceable"
+
+#: Metric names the placement-request path records (the latency-under-load
+#: plane's gated series come from the histogram).
+PLACE_REQUEST_HISTOGRAM = "place_request_seconds"
+PLACE_REQUEST_COUNTER = "place_requests_total"
+
+
+@dataclass
+class PlacementResponse:
+    """Outcome of one placement request through :class:`PlacementService`."""
+
+    request_id: str
+    app_id: str
+    placed: bool
+    #: ``container_id -> node_id`` for a placed request (empty otherwise).
+    nodes: dict[str, str] = field(default_factory=dict)
+    #: Why the request was refused (``None`` when placed):
+    #: :data:`REJECT_OVERLOAD` at admission, :data:`REJECT_UNPLACEABLE`
+    #: when the scheduler could not fit it.
+    reason: str | None = None
+    #: End-to-end wall latency (admission -> response), seconds.
+    latency_s: float = 0.0
+    #: Phase breakdown: ``queue_s`` (waiting for the placement lock) and
+    #: ``place_s`` (inside the scheduler).
+    queue_s: float = 0.0
+    place_s: float = 0.0
+
+    def to_obj(self) -> dict[str, Any]:
+        """JSON-safe dict (the ``POST /place`` response body)."""
+        return {
+            "request_id": self.request_id,
+            "app_id": self.app_id,
+            "placed": self.placed,
+            "nodes": {k: self.nodes[k] for k in sorted(self.nodes)},
+            "reason": self.reason,
+            "latency_s": self.latency_s,
+            "queue_s": self.queue_s,
+            "place_s": self.place_s,
+        }
+
+
+class PlacementService:
+    """The placement-request hot path: admission → queue → placement.
+
+    The seed of the Medea-as-a-service daemon (ROADMAP item 2): one
+    request = one LRA submission placed synchronously by an
+    :class:`LRAScheduler` over a shared :class:`ClusterState`.  Placement
+    is serialized by a lock (the paper's hot path is a single heuristic
+    pass; queue time under contention is part of the latency being
+    measured), admission refuses work beyond ``max_pending`` waiters, and
+    every request runs inside a :func:`~repro.obs.trace.request_context`
+    so its ``request.*`` lifecycle events and nested spans (placement →
+    solver) all carry the request id.
+
+    Latency telemetry goes to the ``place_request_seconds``
+    :class:`~repro.obs.metrics.Histogram` (per-outcome label) and the
+    ``place_requests_total`` counter; ``/metrics`` exposes the histogram
+    as Prometheus cumulative buckets.
+
+    ``retain=False`` (default) measures placement latency over a static
+    cluster: proposals are not applied, so offered load can run
+    indefinitely without filling the cluster.  ``retain=True`` commits
+    each placement (fill-up experiments).  ``extra_place_delay_s`` injects
+    an artificial slowdown into the placement section — the knob the
+    bench-compare regression gate is validated against.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        scheduler: LRAScheduler,
+        manager: ConstraintManager | None = None,
+        *,
+        max_pending: int = 128,
+        retain: bool = False,
+        metrics: Metrics | None = None,
+        tracer=None,
+        extra_place_delay_s: float = 0.0,
+    ) -> None:
+        self.state = state
+        self.scheduler = scheduler
+        self.manager = (
+            manager if manager is not None else ConstraintManager(state.topology)
+        )
+        self.max_pending = max_pending
+        self.retain = retain
+        self.metrics = metrics
+        self.tracer = tracer
+        self.extra_place_delay_s = extra_place_delay_s
+        self._place_lock = threading.Lock()
+        self._meta_lock = threading.Lock()
+        self._pending = 0
+        self._ids = itertools.count(1)
+        self._start = time.perf_counter()
+        self.requests_seen = 0
+        self.requests_placed = 0
+        self.requests_rejected = 0
+
+    def _registry(self) -> Metrics:
+        return self.metrics if self.metrics is not None else get_metrics()
+
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def _finish(
+        self,
+        response: PlacementResponse,
+        *,
+        now: float,
+        tracer,
+        t_admitted: float,
+    ) -> PlacementResponse:
+        response.latency_s = time.perf_counter() - t_admitted
+        registry = self._registry()
+        outcome = "placed" if response.placed else (response.reason or "rejected")
+        registry.histogram(PLACE_REQUEST_HISTOGRAM).observe(
+            response.latency_s, outcome=outcome
+        )
+        registry.counter(PLACE_REQUEST_COUNTER).inc(outcome=outcome)
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.REQUEST_DONE,
+                time=now,
+                data={
+                    "app_id": response.app_id,
+                    "placed": response.placed,
+                    "reason": response.reason,
+                },
+                wall={
+                    "latency_s": response.latency_s,
+                    "queue_s": response.queue_s,
+                    "place_s": response.place_s,
+                },
+            )
+        return response
+
+    def handle(
+        self, request: LRARequest, *, now: float | None = None
+    ) -> PlacementResponse:
+        """Admit, queue, and place one request; never raises for
+        placement-level failures (the response carries the outcome).
+
+        ``now`` is the request's logical arrival clock (the load
+        generator passes its deterministic scheduled arrival time);
+        defaults to wall seconds since service start.
+        """
+        t_admitted = time.perf_counter()
+        if now is None:
+            now = t_admitted - self._start
+        with self._meta_lock:
+            self.requests_seen += 1
+            request_id = f"req-{next(self._ids):08d}"
+            admitted = self._pending < self.max_pending
+            if admitted:
+                self._pending += 1
+        tracer = self._tracer()
+        with request_context(request_id):
+            if not admitted:
+                with self._meta_lock:
+                    self.requests_rejected += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.REQUEST_REJECT,
+                        time=now,
+                        data={
+                            "app_id": request.app_id,
+                            "reason": REJECT_OVERLOAD,
+                            "pending": self.max_pending,
+                        },
+                    )
+                return self._finish(
+                    PlacementResponse(
+                        request_id=request_id,
+                        app_id=request.app_id,
+                        placed=False,
+                        reason=REJECT_OVERLOAD,
+                    ),
+                    now=now,
+                    tracer=tracer,
+                    t_admitted=t_admitted,
+                )
+            try:
+                if tracer.enabled:
+                    tracer.emit(
+                        EventKind.REQUEST_SUBMIT,
+                        time=now,
+                        data={
+                            "app_id": request.app_id,
+                            "containers": len(request.containers),
+                        },
+                    )
+                t_queue = time.perf_counter()
+                with self._place_lock:
+                    queue_s = time.perf_counter() - t_queue
+                    t_place = time.perf_counter()
+                    placed = False
+                    with span("request", tracer=tracer, time=now):
+                        self.manager.register_application(request)
+                        try:
+                            if self.extra_place_delay_s > 0.0:
+                                time.sleep(self.extra_place_delay_s)
+                            result = self.scheduler.timed_place(
+                                [request],
+                                self.state,
+                                self.manager,
+                                now=now,
+                                metrics=self.metrics,
+                                tracer=self.tracer,
+                            )
+                            placed = request.app_id in result.placed_apps()
+                            if placed and self.retain:
+                                for p in result.placements:
+                                    self.state.allocate(
+                                        p.container_id,
+                                        p.node_id,
+                                        p.resource,
+                                        p.tags,
+                                        p.app_id,
+                                        long_running=True,
+                                    )
+                        finally:
+                            # Retained+placed apps keep their constraints
+                            # registered (they now occupy the cluster);
+                            # everything else leaves no residue.
+                            if not (placed and self.retain):
+                                self.manager.unregister_application(
+                                    request.app_id
+                                )
+                    place_s = time.perf_counter() - t_place
+            finally:
+                with self._meta_lock:
+                    self._pending -= 1
+            nodes = {
+                p.container_id: p.node_id
+                for p in result.placements
+                if p.app_id == request.app_id
+            }
+            with self._meta_lock:
+                if placed:
+                    self.requests_placed += 1
+                else:
+                    self.requests_rejected += 1
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.REQUEST_PLACE,
+                    time=now,
+                    data={
+                        "app_id": request.app_id,
+                        "placed": placed,
+                        "nodes": {k: nodes[k] for k in sorted(nodes)},
+                    },
+                    wall={"queue_s": queue_s, "place_s": place_s},
+                )
+            return self._finish(
+                PlacementResponse(
+                    request_id=request_id,
+                    app_id=request.app_id,
+                    placed=placed,
+                    nodes=nodes,
+                    reason=None if placed else REJECT_UNPLACEABLE,
+                    queue_s=queue_s,
+                    place_s=place_s,
+                ),
+                now=now,
+                tracer=tracer,
+                t_admitted=t_admitted,
+            )
+
+    def stats(self) -> dict[str, int]:
+        with self._meta_lock:
+            return {
+                "seen": self.requests_seen,
+                "placed": self.requests_placed,
+                "rejected": self.requests_rejected,
+                "pending": self._pending,
+            }
 
 
 class ScratchPlacements:

@@ -148,15 +148,23 @@ from .bench import (
     series_stats,
 )
 from .events import WALL_KEY, EventKind, TraceEvent, canonical
+from .hist import (
+    DEFAULT_MIN_VALUE_S,
+    DEFAULT_SUBBUCKETS,
+    LatencyHistogram,
+    merge_histograms,
+)
 from .metrics import (
     Counter,
     Gauge,
+    Histogram,
     Metrics,
     SolverStats,
     Timer,
     TimerStat,
     get_metrics,
     set_metrics,
+    use_reservoir_percentiles,
 )
 from .profile import (
     AppCriticalPath,
@@ -223,8 +231,10 @@ from .trace import (
     TraceSink,
     configure,
     configure_from_env,
+    current_request_id,
     get_tracer,
     open_trace_sink,
+    request_context,
     set_tracer,
 )
 
@@ -244,6 +254,13 @@ __all__ = [
     "configure",
     "configure_from_env",
     "open_trace_sink",
+    "request_context",
+    "current_request_id",
+    # latency histograms
+    "DEFAULT_MIN_VALUE_S",
+    "DEFAULT_SUBBUCKETS",
+    "LatencyHistogram",
+    "merge_histograms",
     # sampling
     "SamplingPolicy",
     "TraceSampler",
@@ -268,8 +285,10 @@ __all__ = [
     # metrics
     "Counter",
     "Gauge",
+    "Histogram",
     "Timer",
     "TimerStat",
+    "use_reservoir_percentiles",
     "Metrics",
     "SolverStats",
     "get_metrics",

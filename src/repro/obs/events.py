@@ -67,6 +67,19 @@ class EventKind:
     #: Pending-queue depths sampled at the top of every scheduling cycle.
     SCHEDULER_QUEUE = "scheduler.queue"
 
+    # -- placement requests (serve path, repro.core.scheduler.PlacementService)
+    #: Request admitted into the placement queue (``data``: request_id,
+    #: app_id, containers).  The whole ``request.*`` lifecycle carries the
+    #: ``request_id`` the tracer's request context injects.
+    REQUEST_SUBMIT = "request.submit"
+    #: Request refused at admission (queue depth / malformed payload).
+    REQUEST_REJECT = "request.reject"
+    #: Placement outcome for one request (placed flag, node assignment).
+    REQUEST_PLACE = "request.place"
+    #: Lifecycle complete; ``wall`` carries the latency breakdown
+    #: (admission/queue/place/total seconds).
+    REQUEST_DONE = "request.done"
+
     # -- SLO monitor ---------------------------------------------------------
     SLO_BREACH = "slo.breach"
 

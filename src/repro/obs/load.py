@@ -1,0 +1,920 @@
+"""Deterministic load generation for the placement hot path.
+
+ROADMAP item 2 ("Medea-as-a-service") is judged on p50/p99 placement
+latency *under offered load*; this module is the instrument.  It drives
+the :class:`~repro.core.scheduler.PlacementService` request path — in
+process, or over HTTP against the telemetry server's ``POST /place``
+endpoint — and folds every request latency into the mergeable
+:class:`~repro.obs.hist.LatencyHistogram`.
+
+Three measurement disciplines, explicit because they answer different
+questions (and conflating them is the classic benchmarking sin):
+
+* **Open loop** — arrivals follow a seeded schedule (Poisson, bursty
+  on/off, or uniform) regardless of completions, like real tenants
+  submitting apps.  Latency is measured from the *scheduled* arrival, so
+  a stalled scheduler inflates the tail instead of silently throttling
+  the generator: open-loop measurement is immune to coordinated omission
+  by construction.
+* **Closed loop** — a fixed number of workers issue back-to-back
+  requests (each waits for its response).  Useful for saturation
+  throughput, but latencies are recorded with
+  :meth:`~repro.obs.hist.LatencyHistogram.record_corrected` (HDR
+  coordinated-omission back-fill) against the target inter-request
+  interval.
+* **Virtual** — the same arrival schedules and knee analysis run against
+  a seeded queueing model (deterministic service times, logical clock)
+  instead of wall time.  Every number in the output derives from seeded
+  arithmetic, so ``repro loadgen --virtual --sweep --json`` is
+  byte-stable for a given seed — the determinism contract the rest of
+  the observability plane already honours, here extended to the
+  latency-under-load curve itself (and what CI diffs).
+
+A **sweep** steps offered load over a rate ladder, records one histogram
+per step, and :func:`detect_knee` finds the saturation knee: the first
+step whose achieved throughput falls below ``efficiency ×`` offered, or
+whose p99 blows past ``latency_blowup ×`` the unloaded baseline.  Results
+render as a terminal table, an HTML latency-vs-throughput curve, a
+sorted-key JSON document, or a schema-2 ``BENCH_serve.json`` for the
+``repro bench-compare`` gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..cluster.resources import Resource
+from ..core.requests import ContainerRequest, LRARequest
+from .hist import LatencyHistogram, merge_histograms
+
+__all__ = [
+    "LOADGEN_SCHEMA",
+    "request_from_obj",
+    "request_to_obj",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "burst_arrivals",
+    "build_arrivals",
+    "RequestTemplate",
+    "InProcessTarget",
+    "HttpTarget",
+    "VirtualTarget",
+    "StepResult",
+    "SweepResult",
+    "run_step",
+    "run_sweep",
+    "detect_knee",
+    "sweep_to_obj",
+    "sweep_to_json",
+    "sweep_to_bench",
+    "render_sweep",
+    "render_sweep_html",
+]
+
+#: Schema tag of the ``repro loadgen --json`` document.
+LOADGEN_SCHEMA = "medea.loadgen/1"
+
+#: Saturation-knee thresholds (see :func:`detect_knee`).
+KNEE_EFFICIENCY = 0.9
+KNEE_LATENCY_BLOWUP = 5.0
+
+
+# -- request codec (the POST /place body) -------------------------------------
+
+
+def request_from_obj(payload: Mapping[str, Any]) -> LRARequest:
+    """Decode a ``POST /place`` JSON body into an :class:`LRARequest`.
+
+    Two container spellings::
+
+        {"app_id": "a1", "containers": 4, "memory_mb": 1024, "vcores": 1}
+        {"app_id": "a1", "containers": [
+            {"container_id": "c0", "memory_mb": 512, "vcores": 1,
+             "tags": ["hbase"]}, ...]}
+
+    Raises ``ValueError`` / ``KeyError`` / ``TypeError`` on malformed
+    payloads (the endpoint maps those to HTTP 400).
+    """
+    if not isinstance(payload, Mapping):
+        raise TypeError("request payload must be a JSON object")
+    app_id = str(payload["app_id"])
+    raw = payload["containers"]
+    containers: list[ContainerRequest] = []
+    if isinstance(raw, int):
+        if raw < 1:
+            raise ValueError(f"containers must be >= 1, got {raw}")
+        memory = int(payload.get("memory_mb", 1024))
+        vcores = int(payload.get("vcores", 1))
+        tags = frozenset(payload.get("tags", ()))
+        for i in range(raw):
+            containers.append(
+                ContainerRequest(
+                    container_id=f"{app_id}-c{i}",
+                    resource=Resource(memory_mb=memory, vcores=vcores),
+                    tags=tags,
+                )
+            )
+    else:
+        for i, obj in enumerate(raw):
+            containers.append(
+                ContainerRequest(
+                    container_id=str(obj.get("container_id", f"{app_id}-c{i}")),
+                    resource=Resource(
+                        memory_mb=int(obj.get("memory_mb", 1024)),
+                        vcores=int(obj.get("vcores", 1)),
+                    ),
+                    tags=frozenset(obj.get("tags", ())),
+                )
+            )
+    return LRARequest(app_id, containers)
+
+
+def request_to_obj(request: LRARequest) -> dict[str, Any]:
+    """Encode an :class:`LRARequest` as the ``POST /place`` JSON body
+    (constraints are not carried — load templates are constraint-free)."""
+    app_tag = f"appID:{request.app_id}"
+    return {
+        "app_id": request.app_id,
+        "containers": [
+            {
+                "container_id": c.container_id,
+                "memory_mb": c.resource.memory_mb,
+                "vcores": c.resource.vcores,
+                "tags": sorted(t for t in c.tags if t != app_tag),
+            }
+            for c in request.containers
+        ],
+    }
+
+
+# -- arrival schedules ---------------------------------------------------------
+
+
+def poisson_arrivals(
+    rate_rps: float, count: int, rng: random.Random
+) -> list[float]:
+    """``count`` cumulative arrival offsets (seconds) of a Poisson process
+    at ``rate_rps`` — i.i.d. exponential inter-arrivals, seeded rng."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    t = 0.0
+    out: list[float] = []
+    for _ in range(count):
+        t += rng.expovariate(rate_rps)
+        out.append(t)
+    return out
+
+
+def uniform_arrivals(rate_rps: float, count: int) -> list[float]:
+    """Evenly spaced arrivals at ``rate_rps``."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    return [(i + 1) / rate_rps for i in range(count)]
+
+
+def burst_arrivals(
+    rate_rps: float,
+    count: int,
+    rng: random.Random,
+    *,
+    period_s: float = 2.0,
+    duty: float = 0.25,
+) -> list[float]:
+    """Bursty on/off arrivals averaging ``rate_rps``.
+
+    Real LRA submission streams are bursty, not uniform (the IN2P3
+    workload analysis in PAPERS.md): each ``period_s`` window is ``duty``
+    fraction *on* at rate ``rate_rps / duty`` and otherwise silent.
+    Implemented exactly: a Poisson process is generated in compressed
+    "on-time" and each on-window is re-expanded onto the real clock, so
+    the schedule is deterministic for a given rng.
+    """
+    if not 0.0 < duty <= 1.0:
+        raise ValueError(f"duty must be in (0, 1], got {duty}")
+    on_s = period_s * duty
+    out: list[float] = []
+    for t_on in poisson_arrivals(rate_rps / duty, count, rng):
+        window, offset = divmod(t_on, on_s)
+        out.append(window * period_s + offset)
+    return out
+
+
+def build_arrivals(
+    arrival: str, rate_rps: float, count: int, rng: random.Random
+) -> list[float]:
+    """Dispatch on the arrival-process name (poisson / burst / uniform)."""
+    if arrival == "poisson":
+        return poisson_arrivals(rate_rps, count, rng)
+    if arrival == "burst":
+        return burst_arrivals(rate_rps, count, rng)
+    if arrival == "uniform":
+        return uniform_arrivals(rate_rps, count)
+    raise ValueError(f"unknown arrival process {arrival!r}")
+
+
+# -- request templates ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """Seeded factory of generic LRA submissions (constraint-free, so the
+    same template drives both the in-process and the HTTP target)."""
+
+    containers: int = 4
+    memory_mb: int = 1024
+    vcores: int = 1
+    prefix: str = "ld"
+
+    def build(self, index: int) -> LRARequest:
+        app_id = f"{self.prefix}-{index:06d}"
+        return LRARequest(
+            app_id,
+            [
+                ContainerRequest(
+                    container_id=f"{app_id}-c{i}",
+                    resource=Resource(
+                        memory_mb=self.memory_mb, vcores=self.vcores
+                    ),
+                    tags=frozenset(),
+                )
+                for i in range(self.containers)
+            ],
+        )
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "containers": self.containers,
+            "memory_mb": self.memory_mb,
+            "vcores": self.vcores,
+            "prefix": self.prefix,
+        }
+
+
+# -- targets -------------------------------------------------------------------
+
+
+class InProcessTarget:
+    """Drive a :class:`~repro.core.scheduler.PlacementService` directly."""
+
+    kind = "inprocess"
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def place(self, request: LRARequest, *, now: float) -> str:
+        """Issue one request; returns the outcome (``placed`` /
+        ``rejected`` / ``error``)."""
+        response = self.service.handle(request, now=now)
+        return "placed" if response.placed else "rejected"
+
+    def describe(self) -> str:
+        return f"in-process {type(self.service.scheduler).__name__}"
+
+
+class HttpTarget:
+    """Drive ``POST /place`` on a telemetry endpoint over HTTP."""
+
+    kind = "http"
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def place(self, request: LRARequest, *, now: float) -> str:
+        from urllib.error import HTTPError, URLError
+        from urllib.request import Request, urlopen
+
+        from ..version import user_agent
+
+        body = json.dumps(request_to_obj(request)).encode("utf-8")
+        req = Request(
+            self.base_url + "/place",
+            data=body,
+            headers={
+                "Content-Type": "application/json",
+                "User-Agent": user_agent("loadgen"),
+            },
+            method="POST",
+        )
+        try:
+            with urlopen(req, timeout=self.timeout_s) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            return "placed" if payload.get("placed") else "rejected"
+        except HTTPError as err:
+            err.read()
+            return "rejected" if err.code == 503 else "error"
+        except (URLError, OSError, ValueError):
+            return "error"
+
+    def describe(self) -> str:
+        return self.base_url
+
+
+class VirtualTarget:
+    """Seeded queueing model standing in for a real scheduler.
+
+    ``servers`` parallel service stations with exponential (or constant)
+    service times of mean ``service_time_s``; a logical clock replaces
+    wall time, so step results — achieved throughput included — are pure
+    functions of the seed.  Used by ``repro loadgen --virtual`` for
+    byte-stable curves and by CI to validate the sweep/knee machinery
+    without timing noise.
+    """
+
+    kind = "virtual"
+
+    def __init__(
+        self,
+        *,
+        service_time_s: float = 0.002,
+        servers: int = 1,
+        dist: str = "exp",
+        seed: int = 0,
+    ) -> None:
+        if service_time_s <= 0:
+            raise ValueError("service_time_s must be > 0")
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        if dist not in ("exp", "const"):
+            raise ValueError(f"unknown service distribution {dist!r}")
+        self.service_time_s = service_time_s
+        self.servers = servers
+        self.dist = dist
+        self.seed = seed
+
+    def service_times(self, count: int) -> list[float]:
+        if self.dist == "const":
+            return [self.service_time_s] * count
+        rng = random.Random((self.seed << 8) ^ 0x5EED)
+        return [rng.expovariate(1.0 / self.service_time_s) for _ in range(count)]
+
+    def describe(self) -> str:
+        return (
+            f"virtual queue ({self.servers}x {self.dist} "
+            f"{self.service_time_s * 1e3:g}ms)"
+        )
+
+    def to_obj(self) -> dict[str, Any]:
+        return {
+            "dist": self.dist,
+            "servers": self.servers,
+            "service_time_s": self.service_time_s,
+        }
+
+
+# -- step execution ------------------------------------------------------------
+
+
+@dataclass
+class StepResult:
+    """One offered-load step of a sweep."""
+
+    offered_rps: float
+    mode: str
+    requests: int
+    #: Realized offered rate: ``requests / last scheduled arrival``.  A
+    #: Poisson schedule's nominal rate has O(1/sqrt(N)) sampling noise;
+    #: the knee test compares achieved throughput against this, not the
+    #: nominal, so an unloaded step can't trip the efficiency threshold
+    #: just because its schedule came out long.
+    effective_rps: float = 0.0
+    placed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    #: Wall (or virtual) seconds from first arrival to last completion.
+    duration_s: float = 0.0
+    achieved_rps: float = 0.0
+    hist: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def completed(self) -> int:
+        return self.placed + self.rejected
+
+    def to_obj(self, *, include_hist: bool = True) -> dict[str, Any]:
+        obj: dict[str, Any] = {
+            "achieved_rps": round(self.achieved_rps, 6),
+            "duration_s": round(self.duration_s, 6),
+            "effective_rps": round(self.effective_rps, 6),
+            "errors": self.errors,
+            "latency": self.hist.summary(),
+            "mode": self.mode,
+            "offered_rps": self.offered_rps,
+            "placed": self.placed,
+            "rejected": self.rejected,
+            "requests": self.requests,
+        }
+        if include_hist:
+            obj["hist"] = self.hist.to_obj()
+        return obj
+
+
+def _effective_rate(
+    arrivals: Sequence[float], mode: str, offered_rps: float
+) -> float:
+    """The rate the schedule actually offered (closed loops offer exactly
+    the nominal target)."""
+    if mode == "closed" or not arrivals or arrivals[-1] <= 0:
+        return offered_rps
+    return round(len(arrivals) / arrivals[-1], 6)
+
+
+def _run_virtual_step(
+    target: VirtualTarget,
+    arrivals: Sequence[float],
+    *,
+    mode: str,
+    offered_rps: float,
+    concurrency: int,
+) -> StepResult:
+    """Event-driven queueing simulation of one step (logical clock)."""
+    import heapq
+
+    count = len(arrivals)
+    step = StepResult(
+        offered_rps=offered_rps,
+        mode=mode,
+        requests=count,
+        effective_rps=_effective_rate(arrivals, mode, offered_rps),
+    )
+    services = target.service_times(count)
+    free = [0.0] * target.servers
+    heapq.heapify(free)
+    if mode == "open":
+        last_done = 0.0
+        for arrival, svc in zip(arrivals, services):
+            start = max(arrival, heapq.heappop(free))
+            done = start + svc
+            heapq.heappush(free, done)
+            last_done = max(last_done, done)
+            step.hist.record(done - arrival)
+            step.placed += 1
+        step.duration_s = last_done
+    else:
+        # Closed loop: `concurrency` clients issue back-to-back; latency
+        # is CO-corrected against the per-client target interval.
+        interval = concurrency / offered_rps if offered_rps > 0 else 0.0
+        ready = [0.0] * max(1, concurrency)
+        heapq.heapify(ready)
+        last_done = 0.0
+        for svc in services:
+            client = heapq.heappop(ready)
+            start = max(client, heapq.heappop(free))
+            done = start + svc
+            heapq.heappush(free, done)
+            heapq.heappush(ready, done)
+            last_done = max(last_done, done)
+            step.hist.record_corrected(done - client, interval)
+            step.placed += 1
+        step.duration_s = last_done
+    if step.duration_s > 0:
+        step.achieved_rps = round(step.completed / step.duration_s, 6)
+    return step
+
+
+def _run_open_loop(
+    target,
+    template: RequestTemplate,
+    arrivals: Sequence[float],
+    *,
+    offered_rps: float,
+    concurrency: int,
+    index_base: int,
+) -> StepResult:
+    """Paced open-loop step against a real (wall-clock) target."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    count = len(arrivals)
+    step = StepResult(
+        offered_rps=offered_rps,
+        mode="open",
+        requests=count,
+        effective_rps=_effective_rate(arrivals, "open", offered_rps),
+    )
+    lock = threading.Lock()
+    t0 = time.perf_counter()
+
+    def issue(index: int, arrival: float) -> None:
+        request = template.build(index_base + index)
+        outcome = target.place(request, now=arrival)
+        latency = time.perf_counter() - (t0 + arrival)
+        with lock:
+            # Arrival-anchored latency: queueing delay behind a slow
+            # scheduler (or an exhausted worker pool) counts against the
+            # tail instead of being coordinated away.
+            step.hist.record(latency)
+            if outcome == "placed":
+                step.placed += 1
+            elif outcome == "rejected":
+                step.rejected += 1
+            else:
+                step.errors += 1
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        futures = []
+        for i, arrival in enumerate(arrivals):
+            delay = t0 + arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(issue, i, arrival))
+        for future in futures:
+            future.result()
+    step.duration_s = time.perf_counter() - t0
+    if step.duration_s > 0:
+        step.achieved_rps = round(step.completed / step.duration_s, 6)
+    return step
+
+
+def _run_closed_loop(
+    target,
+    template: RequestTemplate,
+    *,
+    requests: int,
+    offered_rps: float,
+    concurrency: int,
+    index_base: int,
+) -> StepResult:
+    """Closed-loop step: ``concurrency`` workers, back-to-back requests,
+    per-worker histograms merged exactly at the end (the merge property
+    doing real work), coordinated-omission corrected when a target rate
+    is set."""
+    step = StepResult(
+        offered_rps=offered_rps,
+        mode="closed",
+        requests=requests,
+        effective_rps=offered_rps,
+    )
+    interval = concurrency / offered_rps if offered_rps > 0 else 0.0
+    counters_lock = threading.Lock()
+    hists: list[LatencyHistogram] = []
+
+    def worker(worker_id: int, quota: int) -> None:
+        hist = LatencyHistogram()
+        placed = rejected = errors = 0
+        for i in range(quota):
+            index = index_base + worker_id * quota + i
+            request = template.build(index)
+            t_start = time.perf_counter()
+            outcome = target.place(request, now=time.perf_counter() - t0)
+            latency = time.perf_counter() - t_start
+            hist.record_corrected(latency, interval)
+            if outcome == "placed":
+                placed += 1
+            elif outcome == "rejected":
+                rejected += 1
+            else:
+                errors += 1
+        with counters_lock:
+            hists.append(hist)
+            step.placed += placed
+            step.rejected += rejected
+            step.errors += errors
+
+    quota = max(1, requests // max(1, concurrency))
+    threads = [
+        threading.Thread(target=worker, args=(w, quota), daemon=True)
+        for w in range(max(1, concurrency))
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    step.duration_s = time.perf_counter() - t0
+    step.requests = quota * max(1, concurrency)
+    step.hist = merge_histograms(hists)
+    if step.duration_s > 0:
+        step.achieved_rps = round(step.completed / step.duration_s, 6)
+    return step
+
+
+def run_step(
+    target,
+    template: RequestTemplate,
+    *,
+    offered_rps: float,
+    requests: int,
+    mode: str = "open",
+    arrival: str = "poisson",
+    concurrency: int = 16,
+    seed: int = 0,
+    index_base: int = 0,
+) -> StepResult:
+    """Run one offered-load step against any target."""
+    rng = random.Random((seed << 16) ^ hash(round(offered_rps * 1000)) & 0xFFFF)
+    arrivals = build_arrivals(arrival, offered_rps, requests, rng)
+    if isinstance(target, VirtualTarget):
+        return _run_virtual_step(
+            target,
+            arrivals,
+            mode=mode,
+            offered_rps=offered_rps,
+            concurrency=concurrency,
+        )
+    if mode == "open":
+        return _run_open_loop(
+            target,
+            template,
+            arrivals,
+            offered_rps=offered_rps,
+            concurrency=concurrency,
+            index_base=index_base,
+        )
+    if mode == "closed":
+        return _run_closed_loop(
+            target,
+            template,
+            requests=requests,
+            offered_rps=offered_rps,
+            concurrency=concurrency,
+            index_base=index_base,
+        )
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+# -- sweeps and the saturation knee -------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """A full offered-load ladder with per-step histograms."""
+
+    steps: list[StepResult]
+    config: dict[str, Any]
+    knee: dict[str, Any] | None = None
+
+    def merged_hist(self) -> LatencyHistogram:
+        return merge_histograms(step.hist for step in self.steps)
+
+
+def detect_knee(
+    steps: Sequence[StepResult],
+    *,
+    efficiency: float = KNEE_EFFICIENCY,
+    latency_blowup: float = KNEE_LATENCY_BLOWUP,
+) -> dict[str, Any] | None:
+    """Find the saturation knee of a rate ladder.
+
+    The knee is the first step that either (a) achieves less than
+    ``efficiency ×`` its *realized* offered rate (throughput collapse —
+    realized, not nominal, so Poisson schedule noise can't fake a knee)
+    or (b) shows p99 latency beyond ``latency_blowup ×`` the first step's
+    p99 (queueing blow-up; only applied when the baseline p99 is
+    nonzero).  Returns ``None`` while the ladder never saturates.
+    ``capacity_rps`` is the last pre-knee achieved throughput — the
+    number to size admission control against.
+    """
+    if not steps:
+        return None
+    base_p99 = steps[0].hist.quantile(99)
+    for i, step in enumerate(steps):
+        reason = None
+        offered = step.effective_rps or step.offered_rps
+        if step.completed and step.achieved_rps < efficiency * offered:
+            reason = "throughput"
+        elif (
+            base_p99 > 0.0
+            and i > 0
+            and step.hist.quantile(99) > latency_blowup * base_p99
+        ):
+            reason = "latency"
+        if reason is not None:
+            capacity = (
+                steps[i - 1].achieved_rps if i > 0 else step.achieved_rps
+            )
+            return {
+                "step": i,
+                "offered_rps": step.offered_rps,
+                "achieved_rps": step.achieved_rps,
+                "p99_s": step.hist.quantile(99),
+                "reason": reason,
+                "capacity_rps": capacity,
+            }
+    return None
+
+
+def run_sweep(
+    target,
+    template: RequestTemplate,
+    *,
+    rates: Sequence[float],
+    requests_per_step: int,
+    mode: str = "open",
+    arrival: str = "poisson",
+    concurrency: int = 16,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Step offered load over ``rates`` and analyse the knee."""
+    steps: list[StepResult] = []
+    index_base = 0
+    for rate in rates:
+        step = run_step(
+            target,
+            template,
+            offered_rps=rate,
+            requests=requests_per_step,
+            mode=mode,
+            arrival=arrival,
+            concurrency=concurrency,
+            seed=seed,
+            index_base=index_base,
+        )
+        index_base += step.requests
+        steps.append(step)
+        if progress is not None:
+            pct = step.hist.percentiles()
+            progress(
+                f"rate={rate:g}rps achieved={step.achieved_rps:g}rps "
+                f"p50={pct['p50_s'] * 1e3:.2f}ms "
+                f"p99={pct['p99_s'] * 1e3:.2f}ms"
+            )
+    config = {
+        "arrival": arrival,
+        "concurrency": concurrency,
+        "mode": mode,
+        "rates": [float(r) for r in rates],
+        "requests_per_step": requests_per_step,
+        "seed": seed,
+        "target": target.describe(),
+        "template": template.to_obj(),
+    }
+    if isinstance(target, VirtualTarget):
+        config["virtual"] = target.to_obj()
+    return SweepResult(
+        steps=steps, config=config, knee=detect_knee(steps)
+    )
+
+
+# -- output --------------------------------------------------------------------
+
+
+def sweep_to_obj(sweep: SweepResult, *, include_hist: bool = True) -> dict[str, Any]:
+    """The ``--json`` document: sorted-key, schema-tagged; deterministic
+    (byte-stable for a seed) when the target was virtual."""
+    return {
+        "config": sweep.config,
+        "deterministic": sweep.config.get("target", "").startswith("virtual"),
+        "knee": sweep.knee,
+        "schema": LOADGEN_SCHEMA,
+        "steps": [s.to_obj(include_hist=include_hist) for s in sweep.steps],
+    }
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    return json.dumps(
+        sweep_to_obj(sweep), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+def sweep_to_bench(sweep: SweepResult, *, label: str = "serve_sweep") -> dict[str, Any]:
+    """Schema-2 ``BENCH_serve.json`` document: latency percentiles and
+    achieved throughput as series over the offered-rate axis, stats
+    attached so ``repro bench-compare`` gates it directly."""
+    from .bench import attach_stats
+
+    offered = [s.offered_rps for s in sweep.steps]
+    series = {
+        "place_latency_p50_s": {
+            "t": offered, "v": [s.hist.quantile(50) for s in sweep.steps]
+        },
+        "place_latency_p95_s": {
+            "t": offered, "v": [s.hist.quantile(95) for s in sweep.steps]
+        },
+        "place_latency_p99_s": {
+            "t": offered, "v": [s.hist.quantile(99) for s in sweep.steps]
+        },
+        "achieved_rps": {
+            "t": offered, "v": [s.achieved_rps for s in sweep.steps]
+        },
+    }
+    entry: dict[str, Any] = {
+        "mode": sweep.config.get("mode"),
+        "arrival": sweep.config.get("arrival"),
+        "target": sweep.config.get("target"),
+        "requests_per_step": sweep.config.get("requests_per_step"),
+        "series": series,
+    }
+    if sweep.knee is not None:
+        entry["knee"] = sweep.knee
+    return attach_stats({"benchmarks": {label: entry}})
+
+
+def render_sweep(sweep: SweepResult) -> str:
+    """Terminal latency-vs-throughput table plus the knee verdict."""
+    from ..reporting import render_table
+
+    rows = []
+    knee_step = sweep.knee["step"] if sweep.knee else None
+    for i, step in enumerate(sweep.steps):
+        pct = step.hist.percentiles()
+        rows.append(
+            [
+                ("*" if i == knee_step else "") + f"{step.offered_rps:g}",
+                f"{step.achieved_rps:g}",
+                step.requests,
+                step.placed,
+                step.rejected,
+                step.errors,
+                f"{pct['p50_s'] * 1e3:.3f}",
+                f"{pct['p95_s'] * 1e3:.3f}",
+                f"{pct['p99_s'] * 1e3:.3f}",
+            ]
+        )
+    table = render_table(
+        [
+            "offered rps",
+            "achieved",
+            "requests",
+            "placed",
+            "rejected",
+            "errors",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+        ],
+        rows,
+    )
+    lines = [
+        f"loadgen sweep — {sweep.config.get('mode')} loop, "
+        f"{sweep.config.get('arrival')} arrivals, "
+        f"target {sweep.config.get('target')}",
+        "",
+        table,
+    ]
+    if sweep.knee is not None:
+        lines.append(
+            f"* saturation knee at {sweep.knee['offered_rps']:g} rps offered "
+            f"({sweep.knee['reason']}): capacity ≈ "
+            f"{sweep.knee['capacity_rps']:g} rps, "
+            f"p99 {sweep.knee['p99_s'] * 1e3:.2f}ms"
+        )
+    else:
+        lines.append("no saturation knee detected (ladder never saturated)")
+    return "\n".join(lines)
+
+
+def render_sweep_html(sweep: SweepResult) -> str:
+    """Self-contained HTML report: latency-vs-throughput curves (p50/p99
+    over achieved rps) in the dashboard's visual style."""
+    from html import escape
+
+    from .report import HTML_STYLE, _svg_line_chart
+
+    def chart(values: list[float], color: str) -> str:
+        points = [
+            [s.achieved_rps, v] for s, v in zip(sweep.steps, values)
+        ]
+        if not points:
+            return "<p>(no steps)</p>"
+        return _svg_line_chart(points, color=color)
+
+    p50 = [s.hist.quantile(50) * 1e3 for s in sweep.steps]
+    p99 = [s.hist.quantile(99) * 1e3 for s in sweep.steps]
+    achieved = [[s.offered_rps, s.achieved_rps] for s in sweep.steps]
+    knee_html = ""
+    if sweep.knee is not None:
+        knee_html = (
+            f"<p><strong>Saturation knee</strong>: offered "
+            f"{sweep.knee['offered_rps']:g} rps ({escape(sweep.knee['reason'])}) "
+            f"— capacity ≈ {sweep.knee['capacity_rps']:g} rps, "
+            f"p99 {sweep.knee['p99_s'] * 1e3:.2f} ms</p>"
+        )
+    rows = "".join(
+        "<tr>"
+        f"<td>{s.offered_rps:g}</td><td>{s.achieved_rps:g}</td>"
+        f"<td>{s.requests}</td><td>{s.placed}</td><td>{s.rejected}</td>"
+        f"<td>{s.errors}</td>"
+        f"<td>{s.hist.quantile(50) * 1e3:.3f}</td>"
+        f"<td>{s.hist.quantile(95) * 1e3:.3f}</td>"
+        f"<td>{s.hist.quantile(99) * 1e3:.3f}</td>"
+        "</tr>"
+        for s in sweep.steps
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>repro loadgen — latency under load</title>
+<style>{HTML_STYLE}</style></head><body>
+<h1>Latency under load</h1>
+<p>{escape(str(sweep.config.get('mode')))} loop,
+{escape(str(sweep.config.get('arrival')))} arrivals,
+target {escape(str(sweep.config.get('target')))}</p>
+{knee_html}
+<h2>p50 latency (ms) vs achieved throughput (rps)</h2>
+{chart(p50, "#2563eb")}
+<h2>p99 latency (ms) vs achieved throughput (rps)</h2>
+{chart(p99, "#dc2626")}
+<h2>Achieved vs offered throughput (rps)</h2>
+{_svg_line_chart(achieved, color="#059669") if achieved else ""}
+<h2>Steps</h2>
+<table><thead><tr><th>offered rps</th><th>achieved</th><th>requests</th>
+<th>placed</th><th>rejected</th><th>errors</th>
+<th>p50 ms</th><th>p95 ms</th><th>p99 ms</th></tr></thead>
+<tbody>{rows}</tbody></table>
+</body></html>
+"""

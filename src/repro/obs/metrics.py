@@ -17,14 +17,17 @@ deprecation alias so existing imports continue to work.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from .hist import LatencyHistogram
 from .stats import percentile as _percentile
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "Timer",
     "TimerStat",
     "Metrics",
@@ -32,6 +35,7 @@ __all__ = [
     "get_metrics",
     "set_metrics",
     "parse_label_key",
+    "use_reservoir_percentiles",
 ]
 
 
@@ -133,45 +137,83 @@ class Gauge(_Instrument):
         return {k: self._values[k] for k in sorted(self._values)}
 
 
-#: Bounded reservoir size backing timer percentiles (per label set).
+#: Bounded reservoir size backing *legacy* timer percentiles (per label
+#: set) — the pre-histogram path kept behind :func:`use_reservoir_percentiles`.
 RESERVOIR_SIZE = 256
 #: Fixed seed for the per-stat reservoir RNG: same observation sequence →
 #: same retained sample → deterministic percentiles (Vitter's algorithm R).
 _RESERVOIR_SEED = 0x5EED
+
+#: When True, new observations feed the deprecated bounded reservoir
+#: instead of the log-bucketed histogram.  Flipped (with a one-time
+#: DeprecationWarning) by :func:`use_reservoir_percentiles`.
+_reservoir_mode = False
+_reservoir_warned = False
+
+
+def use_reservoir_percentiles(enabled: bool = True) -> None:
+    """Deprecated: opt timer percentiles back onto reservoir sampling.
+
+    Timer percentiles are histogram-backed (``repro.obs.hist``): bounded
+    relative error and exact under merge, where the old seeded reservoir
+    was an unbiased-but-noisy subsample.  This shim restores the old
+    behaviour for stats created *and fed* after the call; it warns once
+    and will be removed once nothing depends on reservoir semantics.
+    """
+    global _reservoir_mode, _reservoir_warned
+    if enabled and not _reservoir_warned:
+        _reservoir_warned = True
+        warnings.warn(
+            "use_reservoir_percentiles(): reservoir-sampled timer "
+            "percentiles are deprecated; TimerStat now uses bounded-error "
+            "mergeable histograms (repro.obs.hist) by default",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    _reservoir_mode = enabled
 
 
 @dataclass
 class TimerStat:
     """Aggregate of one timer label set.
 
-    Besides the count/total/min/max running aggregates it keeps a bounded
-    reservoir sample of observations so :meth:`percentile` (and the
-    ``p50_s``/``p95_s``/``p99_s`` snapshot fields) work at O(1) memory for
-    arbitrarily long runs.
+    Besides the count/total/min/max running aggregates it keeps a
+    log-bucketed :class:`~repro.obs.hist.LatencyHistogram` of observations
+    so :meth:`percentile` (and the ``p50_s``/``p95_s``/``p99_s`` snapshot
+    fields) work at bounded memory with bounded relative error (~0.8%) for
+    arbitrarily long runs — and merge exactly across stats.
+
+    The deprecated reservoir-sampling path survives behind
+    :func:`use_reservoir_percentiles`; its fields are created lazily so the
+    default path pays nothing for it.
     """
 
     count: int = 0
     total_s: float = 0.0
     min_s: float = float("inf")
     max_s: float = 0.0
+    hist: LatencyHistogram = field(
+        default_factory=LatencyHistogram, repr=False, compare=False
+    )
     reservoir_size: int = RESERVOIR_SIZE
     _samples: list[float] = field(
         default_factory=list, repr=False, compare=False
     )
-    _rng: random.Random = field(
-        default_factory=lambda: random.Random(_RESERVOIR_SEED),
-        repr=False,
-        compare=False,
-    )
+    _rng: random.Random | None = field(default=None, repr=False, compare=False)
 
     def observe(self, seconds: float) -> None:
         self.count += 1
         self.total_s += seconds
         self.min_s = min(self.min_s, seconds)
         self.max_s = max(self.max_s, seconds)
+        if not _reservoir_mode:
+            self.hist.record(seconds)
+            return
         if len(self._samples) < self.reservoir_size:
             self._samples.append(seconds)
         else:
+            if self._rng is None:
+                self._rng = random.Random(_RESERVOIR_SEED)
             slot = self._rng.randrange(self.count)
             if slot < self.reservoir_size:
                 self._samples[slot] = seconds
@@ -181,12 +223,23 @@ class TimerStat:
         return self.total_s / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (in [0, 100]) over the reservoir sample; exact
-        while ``count <= reservoir_size``, an unbiased estimate beyond.
-        Returns 0.0 when nothing was observed."""
-        if not self._samples:
-            return 0.0
-        return _percentile(self._samples, q)
+        """q-th percentile (in [0, 100]); bounded-relative-error histogram
+        estimate (exact-sample reservoir estimate under the deprecated
+        :func:`use_reservoir_percentiles` mode).  Returns 0.0 when nothing
+        was observed."""
+        if self._samples:
+            return _percentile(self._samples, q)
+        return self.hist.quantile(q)
+
+    def merge(self, other: "TimerStat") -> "TimerStat":
+        """Exact merge of another stat into this one (histogram path only;
+        reservoir samples do not compose and are dropped)."""
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+        self.hist.merge(other.hist)
+        return self
 
     def to_dict(self) -> dict[str, float]:
         return {
@@ -219,6 +272,84 @@ class Timer(_Instrument):
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         return {k: self._stats[k].to_dict() for k in sorted(self._stats)}
+
+
+class Histogram(_Instrument):
+    """Log-bucketed latency distribution per label set.
+
+    A thin label-aware wrapper over :class:`~repro.obs.hist.LatencyHistogram`
+    for call sites that want the full distribution (Prometheus
+    ``_bucket`` exposition, exact cross-process merge) rather than the
+    timer's scalar aggregates.  All label sets share one bucket geometry,
+    so :meth:`merged` is exact.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        min_value_s: float | None = None,
+        subbuckets: int | None = None,
+    ) -> None:
+        super().__init__(name, help)
+        kwargs: dict[str, Any] = {}
+        if min_value_s is not None:
+            kwargs["min_value_s"] = min_value_s
+        if subbuckets is not None:
+            kwargs["subbuckets"] = subbuckets
+        self._kwargs = kwargs
+        self._stats: dict[str, LatencyHistogram] = {}
+
+    def _stat(self, key: str) -> LatencyHistogram:
+        hist = self._stats.get(key)
+        if hist is None:
+            hist = self._stats[key] = LatencyHistogram(**self._kwargs)
+        return hist
+
+    def observe(self, seconds: float, **labels: Any) -> None:
+        self._stat(_label_key(labels)).record(seconds)
+
+    def observe_corrected(
+        self, seconds: float, expected_interval_s: float, **labels: Any
+    ) -> None:
+        """Record with coordinated-omission back-fill (closed-loop)."""
+        self._stat(_label_key(labels)).record_corrected(
+            seconds, expected_interval_s
+        )
+
+    def stat(self, **labels: Any) -> LatencyHistogram:
+        return self._stats.get(_label_key(labels)) or LatencyHistogram(
+            **self._kwargs
+        )
+
+    def merged(self) -> LatencyHistogram:
+        """Exact merge across every label set."""
+        merged = LatencyHistogram(**self._kwargs)
+        for hist in self._stats.values():
+            merged.merge(hist)
+        return merged
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-label-set flat stats (same shape as timer snapshots) plus
+        the cumulative ``buckets`` (``[le_s, cumulative_count]`` pairs)
+        behind the Prometheus ``_bucket`` exposition."""
+        out: dict[str, dict[str, Any]] = {}
+        for key in sorted(self._stats):
+            hist = self._stats[key]
+            stat: dict[str, Any] = hist.summary()
+            stat["buckets"] = [
+                [le, cum] for le, cum in hist.cumulative_buckets()
+            ]
+            out[key] = stat
+        return out
+
+    def export(self) -> dict[str, dict[str, Any]]:
+        """Per-label-set full bucket dumps (byte-stable, merge-exact)."""
+        return {k: self._stats[k].to_obj() for k in sorted(self._stats)}
+
+    def items(self) -> list[tuple[str, LatencyHistogram]]:
+        return [(k, self._stats[k]) for k in sorted(self._stats)]
 
 
 class _TimerContext:
@@ -254,6 +385,7 @@ class Metrics:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str, help: str = "") -> Counter:
         inst = self._counters.get(name)
@@ -273,25 +405,56 @@ class Metrics:
             inst = self._timers[name] = Timer(name, help)
         return inst
 
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        *,
+        min_value_s: float | None = None,
+        subbuckets: int | None = None,
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(
+                name, help, min_value_s=min_value_s, subbuckets=subbuckets
+            )
+        return inst
+
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Deterministically ordered dump of every instrument.
 
         Shape::
 
-            {"counters": {name: {label_key: value}},
-             "gauges":   {name: {label_key: value}},
-             "timers":   {name: {label_key: {count, total_s, ...}}}}
+            {"counters":   {name: {label_key: value}},
+             "gauges":     {name: {label_key: value}},
+             "timers":     {name: {label_key: {count, total_s, ...}}},
+             "histograms": {name: {label_key: {count, total_s, ...}}}}
+
+        The ``histograms`` family is omitted while empty so pre-existing
+        snapshot consumers (and committed artifacts) are unchanged until a
+        histogram is actually registered.
         """
-        return {
+        snap: dict[str, dict[str, Any]] = {
             "counters": {n: self._counters[n].snapshot() for n in sorted(self._counters)},
             "gauges": {n: self._gauges[n].snapshot() for n in sorted(self._gauges)},
             "timers": {n: self._timers[n].snapshot() for n in sorted(self._timers)},
         }
+        if self._histograms:
+            snap["histograms"] = {
+                n: self._histograms[n].snapshot()
+                for n in sorted(self._histograms)
+            }
+        return snap
+
+    def histograms(self) -> dict[str, Histogram]:
+        """Registered histogram instruments by name (sorted)."""
+        return {n: self._histograms[n] for n in sorted(self._histograms)}
 
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._histograms.clear()
 
 
 _default_metrics = Metrics()

@@ -35,6 +35,7 @@ import os
 from typing import Any, Iterable, Mapping
 
 from .events import WALL_KEY, EventKind, TraceEvent
+from .hist import LatencyHistogram
 from .metrics import get_metrics
 from .profile import ProfileReport
 from .timeline import DEFAULT_MAX_POINTS, DEFAULT_TICK_S, TimelineAggregator, TimeSeries
@@ -89,12 +90,21 @@ class RollupState:
         self.profile = ProfileReport()
         self.top_k_spans = top_k_spans
         self.flushes = 0
+        #: End-to-end placement-request latency distribution, folded from
+        #: ``request.done`` events (mergeable, bounded memory) — the p99
+        #: ``repro watch`` renders and the sweep reports aggregate.
+        self.request_hist = LatencyHistogram()
 
     def observe(self, obj: Mapping[str, Any]) -> None:
         """Fold one decoded event dict into every aggregate."""
         self.timeline.consume(obj)
-        if obj.get("kind") == EventKind.SPAN:
+        kind = obj.get("kind")
+        if kind == EventKind.SPAN:
             self.profile.add(obj)
+        elif kind == EventKind.REQUEST_DONE:
+            latency = (obj.get(WALL_KEY) or {}).get("latency_s")
+            if latency is not None:
+                self.request_hist.record(latency)
 
     def observe_event(self, event: TraceEvent) -> None:
         self.observe(event.to_obj())
@@ -128,6 +138,10 @@ class RollupState:
         out["profile"] = profile_obj
         if profile_wall:
             out.setdefault(WALL_KEY, {})["profile"] = profile_wall
+        if self.request_hist.count:
+            out.setdefault(WALL_KEY, {})["request_latency"] = (
+                self.request_hist.summary()
+            )
         return out
 
     def document(self) -> dict[str, Any]:

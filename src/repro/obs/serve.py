@@ -51,6 +51,7 @@ from .trace import Tracer, get_tracer, set_tracer
 
 __all__ = [
     "HealthState",
+    "RETRY_AFTER_S",
     "TelemetryServer",
     "render_prometheus",
     "install",
@@ -67,6 +68,12 @@ ENV_SERVE = "MEDEA_SERVE"
 
 #: Default wall-clock stall deadline before ``/healthz`` turns 503.
 DEFAULT_DEADLINE_S = 30.0
+
+#: ``Retry-After`` (seconds) sent with 503 responses — the stalled
+#: ``/snapshot`` and the overloaded ``POST /place`` path both advertise it
+#: so pollers (``repro watch``, load generators) back off instead of
+#: hammering a wedged server.
+RETRY_AFTER_S = 5
 
 
 class HealthState:
@@ -195,6 +202,28 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
             lines.append(
                 f"{prom}_sum{_prom_labels(label_key)} {_prom_value(stat['total_s'])}"
             )
+    for name in sorted(snapshot.get("histograms", {})):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for label_key, stat in snapshot["histograms"][name].items():
+            # Cumulative counts at each occupied bucket's upper bound (the
+            # log-bucketed geometry of repro.obs.hist), then the mandatory
+            # +Inf bucket, _count and _sum.
+            for le, cum in stat.get("buckets", ()):  # already cumulative
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(label_key, {'le': _prom_value(le)})} "
+                    f"{_prom_value(cum)}"
+                )
+            lines.append(
+                f"{prom}_bucket{_prom_labels(label_key, {'le': '+Inf'})} "
+                f"{_prom_value(stat['count'])}"
+            )
+            lines.append(
+                f"{prom}_count{_prom_labels(label_key)} {_prom_value(stat['count'])}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(label_key)} {_prom_value(stat['total_s'])}"
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -244,6 +273,9 @@ class TelemetryServer:
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self.started_at = time.time()
+        #: Optional :class:`~repro.core.scheduler.PlacementService` behind
+        #: ``POST /place`` (see :meth:`attach_placement`).
+        self.placement = None
 
     @property
     def metrics(self) -> Metrics:
@@ -267,6 +299,12 @@ class TelemetryServer:
         with self._lock:
             self.health.beat(tick)
 
+    def attach_placement(self, service) -> None:
+        """Expose a :class:`~repro.core.scheduler.PlacementService` behind
+        ``POST /place`` (the seed of serve-scheduler).  Until attached the
+        endpoint answers 503."""
+        self.placement = service
+
     # -- documents -----------------------------------------------------------
 
     def metrics_text(self) -> str:
@@ -289,6 +327,8 @@ class TelemetryServer:
         wall = summary.setdefault("wall", {})
         wall["health"] = health
         wall["uptime_s"] = round(time.time() - self.started_at, 3)
+        if self.placement is not None:
+            wall["requests"] = self.placement.stats()
         return summary
 
     # -- lifecycle -----------------------------------------------------------
@@ -319,16 +359,34 @@ class TelemetryServer:
                     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
                     self._reply(status, body, "application/json")
                 elif path == "/snapshot":
+                    # A stalled run serves its (stale) snapshot with 503 +
+                    # Retry-After so pollers can tell "live data" from
+                    # "last frame before the hang" — repro watch surfaces
+                    # the distinction instead of silently re-rendering.
+                    alive, _ = server.health.status()
                     body = (
                         json.dumps(server.snapshot_doc(), sort_keys=True) + "\n"
                     ).encode()
-                    self._reply(200, body, "application/json")
+                    if alive:
+                        self._reply(200, body, "application/json")
+                    else:
+                        self._reply(
+                            503,
+                            body,
+                            "application/json",
+                            headers={"Retry-After": str(RETRY_AFTER_S)},
+                        )
                 elif path == "/":
                     body = (
                         json.dumps(
                             {
                                 "build": build_info(),
-                                "endpoints": ["/metrics", "/healthz", "/snapshot"],
+                                "endpoints": [
+                                    "/metrics",
+                                    "/healthz",
+                                    "/snapshot",
+                                    "/place",
+                                ],
                             },
                             sort_keys=True,
                         )
@@ -338,10 +396,67 @@ class TelemetryServer:
                 else:
                     self._reply(404, b"not found\n", "text/plain")
 
-            def _reply(self, status: int, body: bytes, content_type: str) -> None:
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path != "/place":
+                    self._reply(404, b"not found\n", "text/plain")
+                    return
+                service = server.placement
+                if service is None:
+                    self._reply_json(
+                        503,
+                        {"error": "no placement service attached"},
+                        headers={"Retry-After": str(RETRY_AFTER_S)},
+                    )
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                except ValueError:
+                    length = 0
+                raw = self.rfile.read(length) if length > 0 else b""
+                from ..core.scheduler import REJECT_OVERLOAD
+                from .load import request_from_obj
+
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                    request = request_from_obj(payload)
+                except (ValueError, KeyError, TypeError) as exc:
+                    self._reply_json(400, {"error": str(exc)})
+                    return
+                response = service.handle(request)
+                server.beat()
+                if response.reason == REJECT_OVERLOAD:
+                    self._reply_json(
+                        503,
+                        response.to_obj(),
+                        headers={"Retry-After": str(RETRY_AFTER_S)},
+                    )
+                else:
+                    self._reply_json(200, response.to_obj())
+
+            def _reply_json(
+                self,
+                status: int,
+                payload: Mapping[str, Any],
+                *,
+                headers: Mapping[str, str] | None = None,
+            ) -> None:
+                body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                self._reply(status, body, "application/json", headers=headers)
+
+            def _reply(
+                self,
+                status: int,
+                body: bytes,
+                content_type: str,
+                *,
+                headers: Mapping[str, str] | None = None,
+            ) -> None:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                for key, value in (headers or {}).items():
+                    self.send_header(key, value)
                 self.end_headers()
                 self.wfile.write(body)
 
@@ -468,11 +583,33 @@ def _normalize_target(target: str) -> str:
 
 
 def fetch_snapshot(target: str, *, timeout_s: float = 5.0) -> dict[str, Any]:
-    """GET ``/snapshot`` from a telemetry endpoint (identified User-Agent)."""
+    """GET ``/snapshot`` from a telemetry endpoint (identified User-Agent).
+
+    A 503 with a JSON body is the server's *stalled* signal, not an error:
+    the stale snapshot is returned with ``wall.http`` carrying the status
+    and the advertised ``Retry-After`` so the watch loop can surface the
+    health state and back off.  Other HTTP errors propagate.
+    """
+    from urllib.error import HTTPError
+
     url = _normalize_target(target).rstrip("/") + "/snapshot"
     request = Request(url, headers={"User-Agent": user_agent("watch")})
-    with urlopen(request, timeout=timeout_s) as response:
-        return json.loads(response.read().decode("utf-8"))
+    try:
+        with urlopen(request, timeout=timeout_s) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except HTTPError as err:
+        if err.code != 503:
+            raise
+        try:
+            snapshot = json.loads(err.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise err from None
+        retry_after = err.headers.get("Retry-After")
+        snapshot.setdefault("wall", {})["http"] = {
+            "status": 503,
+            "retry_after_s": float(retry_after) if retry_after else None,
+        }
+        return snapshot
 
 
 def render_watch(snapshot: Mapping[str, Any]) -> str:
@@ -497,6 +634,31 @@ def render_watch(snapshot: Mapping[str, Any]) -> str:
             else ""
         )
     )
+    http = wall.get("http")
+    if http and http.get("status") == 503:
+        retry = http.get("retry_after_s")
+        header = (
+            "!! ENDPOINT UNHEALTHY (HTTP 503"
+            + (f", retry after {retry:g}s" if retry else "")
+            + ") — frame below is the last snapshot before the stall\n"
+            + header
+        )
+    requests = wall.get("requests")
+    if requests:
+        header += (
+            f"\nrequests: seen={requests.get('seen', 0)} "
+            f"placed={requests.get('placed', 0)} "
+            f"rejected={requests.get('rejected', 0)} "
+            f"pending={requests.get('pending', 0)}"
+        )
+    latency = wall.get("request_latency")
+    if latency and latency.get("count"):
+        header += (
+            f"\nrequest latency: n={latency['count']} "
+            f"p50={latency['p50_s'] * 1e3:.2f}ms "
+            f"p95={latency['p95_s'] * 1e3:.2f}ms "
+            f"p99={latency['p99_s'] * 1e3:.2f}ms"
+        )
     rows = []
 
     def series_rows(series: Mapping[str, Any], volatile: bool) -> None:

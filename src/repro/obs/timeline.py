@@ -337,6 +337,26 @@ class TimelineAggregator:
                 f"solver_total_s:{backend}", "mean", volatile=True
             ).add(t, wall["time_total_s"])
 
+    def _on_request_submit(self, t: float, data: Mapping, wall: Mapping) -> None:
+        # Per-tick admitted-request count: divided by tick_s this is the
+        # offered request rate the latency-under-load curves plot against.
+        self._series("request_rate", "sum").add(t, 1)
+
+    def _on_request_reject(self, t: float, data: Mapping, wall: Mapping) -> None:
+        self._series("request_rejected", "sum").add(t, 1)
+
+    def _on_request_done(self, t: float, data: Mapping, wall: Mapping) -> None:
+        if not data.get("placed", False):
+            self._series("request_unplaced", "sum").add(t, 1)
+        if "latency_s" in wall:
+            self._series("request_latency_s", "mean", volatile=True).add(
+                t, wall["latency_s"]
+            )
+        if "queue_s" in wall:
+            self._series("request_queue_s", "mean", volatile=True).add(
+                t, wall["queue_s"]
+            )
+
     _HANDLERS = {
         EventKind.SIM_STATE_HASH: _on_state_hash,
         EventKind.SCHEDULER_QUEUE: _on_scheduler_queue,
@@ -350,6 +370,9 @@ class TimelineAggregator:
         EventKind.SCHEDULER_PLACE: _on_scheduler_place,
         EventKind.SOLVER_SOLVE: _on_solver_solve,
         EventKind.WATCHDOG_TRIP: _on_watchdog_trip,
+        EventKind.REQUEST_SUBMIT: _on_request_submit,
+        EventKind.REQUEST_REJECT: _on_request_reject,
+        EventKind.REQUEST_DONE: _on_request_done,
     }
 
     # -- output ----------------------------------------------------------------

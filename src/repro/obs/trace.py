@@ -20,10 +20,12 @@ tracer for isolated runs (the determinism tests do exactly that).
 
 from __future__ import annotations
 
+import contextvars
 import io
 import os
+from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Iterable, Mapping, TextIO
+from typing import Any, Iterable, Iterator, Mapping, TextIO
 
 from .events import TraceEvent
 from .sample import (
@@ -44,6 +46,8 @@ __all__ = [
     "configure",
     "configure_from_env",
     "open_trace_sink",
+    "request_context",
+    "current_request_id",
 ]
 
 #: Environment variables read by :func:`configure_from_env`.
@@ -53,6 +57,41 @@ ENV_TRACE_OUT = "MEDEA_TRACE_OUT"
 #: :class:`repro.obs.sample.SamplingPolicy`), e.g.
 #: ``MEDEA_TRACE_SAMPLE="heartbeat=0.01,task=0.1,seed=7"``.
 ENV_TRACE_SAMPLE = "MEDEA_TRACE_SAMPLE"
+
+
+#: Request-scoped trace context (ISSUE 10).  While a ``request_context`` is
+#: active on the current thread/task, every emitted event is stamped with
+#: the request id — so the whole causal chain of one placement request
+#: (``request.*`` lifecycle, nested spans, solver events) can be filtered
+#: out of a shared trace.  A :class:`contextvars.ContextVar` keeps the
+#: stamp thread- and async-safe for the concurrent serve path, and the
+#: default ``None`` keeps simulation traces byte-identical: no context, no
+#: injected field.
+_request_id: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "medea_request_id", default=None
+)
+
+#: ``data`` key the request context injects.
+REQUEST_ID_KEY = "request_id"
+
+
+def current_request_id() -> str | None:
+    """The active request id, if a :func:`request_context` is open."""
+    return _request_id.get()
+
+
+@contextmanager
+def request_context(request_id: str) -> Iterator[str]:
+    """Stamp every event emitted in this scope with ``request_id``.
+
+    Scopes nest (the innermost wins) and the stamp never overrides a
+    ``request_id`` a call site set explicitly in its payload.
+    """
+    token = _request_id.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _request_id.reset(token)
 
 
 class TraceSink:
@@ -246,6 +285,9 @@ class Tracer:
                 self.events_dropped += 1
                 self.overhead_s += perf_counter() - t0
                 return None
+        rid = _request_id.get()
+        if rid is not None and REQUEST_ID_KEY not in (data or {}):
+            data = {**(data or {}), REQUEST_ID_KEY: rid}
         event = TraceEvent(
             kind=kind, seq=self._seq, time=time, data=data or {}, wall=wall
         )

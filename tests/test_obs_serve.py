@@ -196,7 +196,7 @@ class TestEndpoints:
         status, _, body = _get(server, "/")
         assert status == 200
         assert json.loads(body)["endpoints"] == [
-            "/metrics", "/healthz", "/snapshot"
+            "/metrics", "/healthz", "/snapshot", "/place"
         ]
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _get(server, "/nope")

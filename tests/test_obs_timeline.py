@@ -314,14 +314,15 @@ class TestDashboardDeterminism:
 
 
 class TestTimerPercentiles:
-    def test_exact_below_reservoir_size(self):
+    def test_bounded_error_on_uniform_ramp(self):
         metrics = Metrics()
         timer = metrics.timer("lat")
         for v in range(1, 101):
             timer.observe(float(v))
         stat = timer.stat()
-        assert stat.percentile(50) == pytest.approx(50.5)
-        assert stat.percentile(99) == pytest.approx(99.01)
+        # Histogram-backed: nearest-rank within the bucket relative error.
+        assert stat.percentile(50) == pytest.approx(50.0, rel=0.01)
+        assert stat.percentile(99) == pytest.approx(99.0, rel=0.01)
 
     def test_snapshot_includes_percentiles(self):
         metrics = Metrics()
@@ -330,7 +331,7 @@ class TestTimerPercentiles:
         for key in ("p50_s", "p95_s", "p99_s"):
             assert stat[key] == pytest.approx(2.0)
 
-    def test_reservoir_bounded_and_deterministic(self):
+    def test_histogram_backed_bounded_and_deterministic(self):
         stats = []
         for _ in range(2):
             metrics = Metrics()
@@ -338,11 +339,32 @@ class TestTimerPercentiles:
             for v in range(10_000):
                 timer.observe(float(v))
             stats.append(timer.stat())
-        assert len(stats[0]._samples) == stats[0].reservoir_size
-        # Same observation sequence ⇒ same sampled reservoir (seeded RNG).
-        assert stats[0]._samples == stats[1]._samples
-        # The estimate stays in the right ballpark on a uniform ramp.
-        assert 7_000 < stats[0].percentile(90) < 10_000
+        # Same observation sequence ⇒ byte-identical histogram state, and
+        # the bucket count is bounded regardless of observation count.
+        assert stats[0].hist.to_json() == stats[1].hist.to_json()
+        assert len(stats[0].hist._buckets) < 2_000
+        assert stats[0].percentile(90) == pytest.approx(9_000, rel=0.01)
+
+    def test_reservoir_shim_restores_old_path(self, monkeypatch):
+        from repro.obs import metrics as metrics_mod
+        from repro.obs.metrics import use_reservoir_percentiles
+
+        monkeypatch.setattr(metrics_mod, "_reservoir_warned", False)
+        with pytest.warns(DeprecationWarning, match="reservoir"):
+            use_reservoir_percentiles(True)
+        try:
+            metrics = Metrics()
+            timer = metrics.timer("lat")
+            for v in range(1, 101):
+                timer.observe(float(v))
+            stat = timer.stat()
+            # Legacy reservoir semantics: exact interpolated percentiles
+            # below the reservoir size, samples retained.
+            assert len(stat._samples) == 100
+            assert stat.percentile(50) == pytest.approx(50.5)
+            assert stat.percentile(99) == pytest.approx(99.01)
+        finally:
+            use_reservoir_percentiles(False)
 
 
 class TestStatsMove:
